@@ -1,0 +1,318 @@
+package vizcache
+
+// The benchmark harness regenerates every paper table/figure (one benchmark
+// per artifact; see DESIGN.md §4) at a reduced scale per iteration, plus
+// microbenchmarks for the load-bearing components. Key result quantities
+// are attached via b.ReportMetric so `go test -bench` output captures the
+// reproduced series; cmd/repro prints the full tables.
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// benchOpts keeps per-iteration cost low while preserving every
+// experiment's structure.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.0625, Steps: 20, ClimateVars: 4}
+}
+
+func reportSeries(b *testing.B, res *experiments.Result, key, metric string) {
+	s := res.Series[key]
+	if len(s) == 0 {
+		b.Fatalf("missing series %q", key)
+	}
+	b.ReportMetric(s[len(s)-1], metric)
+}
+
+// BenchmarkTable1Datasets regenerates Table I (dataset inventory).
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows) != 4 {
+			b.Fatal("wrong dataset count")
+		}
+	}
+}
+
+// BenchmarkFig7Sampling regenerates Fig. 7: miss rate and I/O time vs
+// sampling-position count. Reported metric: the 3d_ball I/O time (ms) at
+// the densest lattice relative to the sparsest (>1 demonstrates the
+// lookup-overhead effect).
+func BenchmarkFig7Sampling(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		io := res.Series["3d_ball/iotime_ms"]
+		ratio = io[len(io)-1] / io[0]
+	}
+	b.ReportMetric(ratio, "dense/sparse-io-ratio")
+}
+
+// BenchmarkFig9BlockSize regenerates Fig. 9: miss rate vs block division
+// across 15 camera-path panels under FIFO/LRU/OPT.
+func BenchmarkFig9BlockSize(b *testing.B) {
+	var optOverLRU float64
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Steps = 10
+		res, err := experiments.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := res.Series["spherical-10deg/OPT"]
+		lru := res.Series["spherical-10deg/LRU"]
+		optOverLRU = opt[2] / lru[2]
+	}
+	b.ReportMetric(optOverLRU, "opt/lru-missrate")
+}
+
+// BenchmarkFig11Radius regenerates Fig. 11: I/O+prefetch time per vicinal
+// radius strategy on lifted_rr.
+func BenchmarkFig11Radius(b *testing.B) {
+	var dynamicOverBest float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.Series["io_prefetch_ms"]
+		best := s[0]
+		for _, v := range s {
+			if v < best {
+				best = v
+			}
+		}
+		dynamicOverBest = s[0] / best
+	}
+	b.ReportMetric(dynamicOverBest, "eq6/best-ratio")
+}
+
+// BenchmarkFig12CameraPaths regenerates Fig. 12: miss rate across spherical
+// and random paths for FIFO/LRU/OPT on 3d_ball (2048 blocks).
+func BenchmarkFig12CameraPaths(b *testing.B) {
+	var optOverLRU float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		optOverLRU = res.Series["random/OPT"][2] / res.Series["random/LRU"][2]
+	}
+	b.ReportMetric(optOverLRU, "opt/lru-missrate@10-15deg")
+}
+
+// BenchmarkFig13Latency regenerates Fig. 13: total time under cache ratios
+// 0.5 and 0.7. Reported metric: OPT's speedup over LRU at 0-5° / ratio 0.7.
+func BenchmarkFig13Latency(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lru := res.Series["r0.7/LRU"][0]
+		opt := res.Series["r0.7/OPT"][0]
+		speedup = (lru - opt) / lru
+	}
+	b.ReportMetric(speedup, "opt-speedup@0.7")
+}
+
+// BenchmarkAblationComponents toggles Algorithm 1's mechanisms.
+func BenchmarkAblationComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationComponents(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSigma sweeps the entropy threshold σ.
+func BenchmarkAblationSigma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSigma(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPolicies runs the policy zoo + Belady bound.
+func BenchmarkAblationPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPolicies(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPrefetchWindow compares unbounded vs windowed prefetch.
+func BenchmarkAblationPrefetchWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPrefetchWindow(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component microbenchmarks ---
+
+func benchGrid(b *testing.B) (*volume.Dataset, *grid.Grid) {
+	b.Helper()
+	ds := volume.Ball().Scale(0.125)
+	g, err := ds.GridWithBlockCount(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, g
+}
+
+// BenchmarkVisibleSet measures the per-frame exact visibility test (Eq. 1
+// over all blocks).
+func BenchmarkVisibleSet(b *testing.B) {
+	_, g := benchGrid(b)
+	cam := camera.Camera{Pos: vec.New(0.4, 0.8, 2.8), ViewAngle: vec.Radians(10)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if set := visibility.VisibleSet(g, cam); len(set) == 0 {
+			b.Fatal("empty visible set")
+		}
+	}
+}
+
+// BenchmarkEntropyBuild measures T_important construction (parallel block
+// entropy scoring).
+func BenchmarkEntropyBuild(b *testing.B) {
+	ds, g := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := entropy.Build(ds, g, entropy.Options{})
+		if tab.MaxScore() <= 0 {
+			b.Fatal("no entropy")
+		}
+	}
+}
+
+// BenchmarkVisibilityTableKey measures one lazy T_visible key
+// materialization (vicinal dilated visible set).
+func BenchmarkVisibilityTableKey(b *testing.B) {
+	_, g := benchGrid(b)
+	tab, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: 72, NElevation: 36, NDistance: 10,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(10),
+		Radius:    radius.Fixed(0.2),
+		Lazy:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.PredictedSet(i % tab.NumKeys())
+	}
+}
+
+// BenchmarkNearestKey measures the O(1) lattice lookup.
+func BenchmarkNearestKey(b *testing.B) {
+	_, g := benchGrid(b)
+	tab, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: 72, NElevation: 36, NDistance: 10,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(10),
+		Radius:    radius.Fixed(0.2),
+		Lazy:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := vec.New(1.1, -0.7, 2.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.NearestKey(pos)
+	}
+}
+
+// BenchmarkPolicyOps measures raw replacement-policy operation cost.
+func BenchmarkPolicyOps(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		f    cache.Factory
+	}{
+		{"FIFO", func() cache.Policy { return cache.NewFIFO() }},
+		{"LRU", func() cache.Policy { return cache.NewLRU() }},
+		{"CLOCK", func() cache.Policy { return cache.NewClock() }},
+		{"LFU", func() cache.Policy { return cache.NewLFU() }},
+		{"ARC", func() cache.Policy { return cache.NewARC(256) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			p := mk.f()
+			for i := 0; i < b.N; i++ {
+				id := grid.BlockID(i % 512)
+				p.Insert(id)
+				p.Touch(id)
+				if p.Len() > 256 {
+					if v, ok := p.Victim(); ok {
+						p.Remove(v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppAwareStep measures one full Algorithm 1 step (demand fetch +
+// prediction + prefetch) in steady state.
+func BenchmarkAppAwareStep(b *testing.B) {
+	ds, g := benchGrid(b)
+	path := camera.Orbit(3, 360)
+	cfg := sim.Config{
+		Dataset: ds, Grid: g, Path: path,
+		ViewAngle: vec.Radians(10), CacheRatio: 0.5,
+	}
+	// One warm run amortizes table construction; the benchmark then
+	// re-runs the whole path per iteration (360 steps each).
+	imp := entropy.Build(ds, g, entropy.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunAppAware(cfg, sim.AppAwareConfig{Importance: imp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(360, "steps/op")
+}
+
+// BenchmarkRenderFrame measures the software ray-caster (128×96, 64 steps).
+func BenchmarkRenderFrame(b *testing.B) {
+	ds, g := benchGrid(b)
+	rd := &render.Renderer{DS: ds, G: g, TF: render.Grayscale, Steps: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Render(vec.New(0, 0, 3), vec.Radians(20), 128, 96)
+	}
+}
+
+// BenchmarkBlockSamples measures on-demand block value extraction.
+func BenchmarkBlockSamples(b *testing.B) {
+	ds, g := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.BlockSamples(g, grid.BlockID(i%g.NumBlocks()), 0, 8)
+	}
+}

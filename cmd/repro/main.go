@@ -1,0 +1,116 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation plus the ablation studies (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	repro [-exp all|table1|fig7|fig9|fig11|fig12|fig13|ablation]
+//	      [-scale 0.25] [-steps 400] [-ratio 0.5] [-csv dir]
+//
+// Text tables go to stdout; -csv additionally writes one CSV per experiment
+// into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run: all, table1, fig7, fig9, fig11, fig12, fig13, ablation")
+		scale  = flag.Float64("scale", 0.25, "dataset scale factor (1 = paper-size resolutions)")
+		steps  = flag.Int("steps", 400, "camera-path length (paper: 400)")
+		ratio  = flag.Float64("ratio", 0.5, "cache-size ratio between successive memory levels")
+		vars   = flag.Int("climate-vars", 8, "climate dataset variable count (paper: 244)")
+		seed   = flag.Uint64("seed", 0x5eed, "random-path seed")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files into")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:       *scale,
+		Steps:       *steps,
+		CacheRatio:  *ratio,
+		ClimateVars: *vars,
+		Seed:        *seed,
+	}
+
+	type runner struct {
+		name string
+		fn   func(experiments.Options) (*experiments.Result, error)
+	}
+	all := []runner{
+		{"table1", experiments.Table1},
+		{"fig7", experiments.Fig7},
+		{"fig9", experiments.Fig9},
+		{"fig11", experiments.Fig11},
+		{"fig12", experiments.Fig12},
+		{"fig13", experiments.Fig13},
+		{"ablation-components", experiments.AblationComponents},
+		{"ablation-sigma", experiments.AblationSigma},
+		{"ablation-policies", experiments.AblationPolicies},
+		{"ablation-overlap", experiments.AblationOverlap},
+		{"ablation-prefetch-window", experiments.AblationPrefetchWindow},
+		{"ext-lod", experiments.ExtLOD},
+		{"ext-time", experiments.ExtTime},
+		{"ext-vr", experiments.ExtVR},
+		{"ext-query", experiments.ExtQuery},
+	}
+
+	selected := make([]runner, 0, len(all))
+	for _, r := range all {
+		switch *exp {
+		case "all":
+			selected = append(selected, r)
+		case "ablation":
+			if len(r.name) >= 8 && r.name[:8] == "ablation" {
+				selected = append(selected, r)
+			}
+		default:
+			if r.name == *exp {
+				selected = append(selected, r)
+			}
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	for _, r := range selected {
+		start := time.Now()
+		res, err := r.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if err := res.Table.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Table.WriteCSV(f)
+}

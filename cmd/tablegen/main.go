@@ -1,0 +1,102 @@
+// Command tablegen performs the paper's one-time pre-processing (Steps 1–2
+// of Fig. 5): it builds the T_visible camera-sampling table and the
+// T_important entropy ranking for a dataset/partition and saves both to
+// disk, so interactive sessions skip the pre-processing cost.
+//
+// Usage:
+//
+//	tablegen -dataset lifted_rr -scale 0.125 -blocks 1024 -out tables/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/radius"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "3d_ball", "dataset name")
+		scale    = flag.Float64("scale", 0.125, "dataset scale factor")
+		blocks   = flag.Int("blocks", 1024, "approximate block count")
+		out      = flag.String("out", "tables", "output directory")
+		sampling = flag.Int("sampling", 25920, "T_visible sampling-position count")
+		angleDeg = flag.Float64("view-angle", 10, "full view angle, degrees")
+		rMin     = flag.Float64("rmin", 2.5, "Ω inner camera distance")
+		rMax     = flag.Float64("rmax", 3.5, "Ω outer camera distance")
+		ratio    = flag.Float64("ratio", 0.5, "cache ratio (sets the Eq. 6 radius)")
+		vars     = flag.Int("climate-vars", 8, "climate variable count")
+	)
+	flag.Parse()
+
+	ds := volume.ByName(*dataset)
+	if ds == nil {
+		fmt.Fprintf(os.Stderr, "tablegen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	ds = ds.Scale(*scale)
+	if ds.Name == "climate" {
+		ds = ds.WithVariables(*vars)
+	}
+	g, err := ds.GridWithBlockCount(*blocks)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	imp := entropy.Build(ds, g, entropy.Options{})
+	impPath := filepath.Join(*out, ds.Name+".timp")
+	if err := saveTo(impPath, imp.Save); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("T_important: %d blocks scored in %v -> %s\n",
+		imp.Len(), time.Since(start).Round(time.Millisecond), impPath)
+
+	start = time.Now()
+	nAz, nEl, nDist := visibility.LatticeForTotal(*sampling, 10)
+	vis, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: nAz, NElevation: nEl, NDistance: nDist,
+		RMin: *rMin, RMax: *rMax,
+		ViewAngle: vec.Radians(*angleDeg),
+		Radius:    radius.Dynamic{Ratio: *ratio * *ratio, Min: 0.02},
+		Lazy:      true, // Save materializes everything in parallel
+	})
+	if err != nil {
+		fatal(err)
+	}
+	visPath := filepath.Join(*out, ds.Name+".tvis")
+	if err := saveTo(visPath, vis.Save); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("T_visible:   %d sampling positions built in %v -> %s\n",
+		vis.NumKeys(), time.Since(start).Round(time.Millisecond), visPath)
+}
+
+func saveTo(path string, save func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tablegen:", err)
+	os.Exit(1)
+}

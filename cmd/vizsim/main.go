@@ -1,0 +1,145 @@
+// Command vizsim runs one interactive-visualization simulation: a dataset,
+// a camera path, and a replacement policy, reporting miss rate and timing.
+//
+// Usage:
+//
+//	vizsim -dataset 3d_ball -policy opt -path random -deg-lo 10 -deg-hi 15
+//	       [-blocks 2048] [-steps 400] [-scale 0.25] [-ratio 0.5]
+//
+// Policies: fifo, lru, clock, lfu, arc, opt (the paper's app-aware policy).
+// Paths: spherical (uses -deg-lo as the per-step interval), random, orbit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/sim"
+	"repro/internal/vec"
+	"repro/internal/volume"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "3d_ball", "dataset name (3d_ball, lifted_mix_frac, lifted_rr, climate)")
+		policy   = flag.String("policy", "opt", "replacement policy: fifo, lru, clock, lfu, arc, opt")
+		path     = flag.String("path", "random", "camera path: spherical, random, orbit")
+		degLo    = flag.Float64("deg-lo", 10, "per-step direction change lower bound (or spherical interval)")
+		degHi    = flag.Float64("deg-hi", 15, "per-step direction change upper bound (random path)")
+		blocks   = flag.Int("blocks", 2048, "approximate block count")
+		steps    = flag.Int("steps", 400, "path length")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
+		ratio    = flag.Float64("ratio", 0.5, "cache ratio between successive levels")
+		angle    = flag.Float64("view-angle", 10, "full view angle, degrees")
+		dist     = flag.Float64("distance", 3, "nominal camera distance")
+		vars     = flag.Int("climate-vars", 8, "climate variable count")
+		seed     = flag.Uint64("seed", 1, "random-path seed")
+		pathFile = flag.String("path-file", "", "replay a recorded camera path instead of generating one")
+		savePath = flag.String("save-path", "", "write the camera path used to this file")
+	)
+	flag.Parse()
+
+	ds := volume.ByName(*dataset)
+	if ds == nil {
+		fmt.Fprintf(os.Stderr, "vizsim: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	ds = ds.Scale(*scale)
+	if *dataset == "climate" {
+		ds = ds.WithVariables(*vars)
+	}
+	g, err := ds.GridWithBlockCount(*blocks)
+	if err != nil {
+		fatal(err)
+	}
+
+	var p camera.Path
+	if *pathFile != "" {
+		f, err := os.Open(*pathFile)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = camera.LoadPath(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		switch *path {
+		case "spherical":
+			p = camera.Spherical(*dist, *degLo, *steps)
+		case "random":
+			p = camera.Random(*dist*0.93, *dist*1.07, *degLo, *degHi, *steps, *seed)
+		case "orbit":
+			p = camera.Orbit(*dist, *steps)
+		case "head":
+			p = camera.HeadMotion(*dist, *steps, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "vizsim: unknown path %q\n", *path)
+			os.Exit(2)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := sim.Config{
+		Dataset:    ds,
+		Grid:       g,
+		Path:       p,
+		ViewAngle:  vec.Radians(*angle),
+		CacheRatio: *ratio,
+	}
+
+	var m sim.Metrics
+	switch *policy {
+	case "opt":
+		m, err = sim.RunAppAware(cfg, sim.AppAwareConfig{})
+	case "fifo":
+		m, err = sim.RunBaseline(cfg, func() cache.Policy { return cache.NewFIFO() }, "FIFO")
+	case "lru":
+		m, err = sim.RunBaseline(cfg, func() cache.Policy { return cache.NewLRU() }, "LRU")
+	case "clock":
+		m, err = sim.RunBaseline(cfg, func() cache.Policy { return cache.NewClock() }, "CLOCK")
+	case "lfu":
+		m, err = sim.RunBaseline(cfg, func() cache.Policy { return cache.NewLFU() }, "LFU")
+	case "arc":
+		m, err = sim.RunBaseline(cfg, func() cache.Policy { return cache.NewARC(*blocks / 4) }, "ARC")
+	default:
+		fmt.Fprintf(os.Stderr, "vizsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset           %s (scaled to %v, %d variables, %d blocks)\n",
+		ds.Name, ds.Res, ds.Variables, g.NumBlocks())
+	fmt.Printf("path              %s (%d steps)\n", p.Name, p.Len())
+	fmt.Printf("policy            %s\n", m.Policy)
+	fmt.Printf("miss rate         %.4f (DRAM level: %.4f)\n", m.MissRate, m.DRAMMissRate)
+	fmt.Printf("I/O time          %v (lookup share %v)\n", m.IOTime, m.QueryTime)
+	fmt.Printf("prefetch time     %v (%d blocks)\n", m.PrefetchTime, m.Prefetches)
+	fmt.Printf("render time       %v\n", m.RenderTime)
+	fmt.Printf("total time        %v\n", m.TotalTime)
+	fmt.Printf("mean visible set  %.1f blocks\n", m.MeanVisible)
+	fmt.Printf("demand fetches    %d\n", m.DemandFetches)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vizsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package cache
+
+// ARC (Adaptive Replacement Cache, Megiddo & Modha, FAST'03) — cited in the
+// paper's related work — balances recency (T1) and frequency (T2) lists with
+// ghost lists (B1, B2) steering the adaptation target p.
+//
+// This implementation is adapted to the simulator's split of duties: the
+// hierarchy decides *when* to evict (bytes-based) and asks the policy for a
+// victim; the policy only orders blocks. Ghost bookkeeping happens in
+// Remove, adaptation in Insert.
+
+import "repro/internal/grid"
+
+// ARC is an adaptive replacement policy over block IDs with an
+// entry-count-based adaptation target.
+type ARC struct {
+	capacity int // c: adaptation scale, in entries
+	p        int // target size of T1
+
+	t1, t2 *list // resident: recency, frequency
+	b1, b2 *list // ghosts: evicted from t1 / t2
+	where  map[grid.BlockID]*arcEntry
+}
+
+type arcEntry struct {
+	n    *node
+	list *list
+}
+
+// NewARC returns an ARC policy with the given capacity in entries (used
+// only to scale adaptation and bound ghost lists; actual eviction pressure
+// comes from the hierarchy). capacity must be >= 1.
+func NewARC(capacity int) *ARC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ARC{
+		capacity: capacity,
+		t1:       newList(),
+		t2:       newList(),
+		b1:       newList(),
+		b2:       newList(),
+		where:    make(map[grid.BlockID]*arcEntry),
+	}
+}
+
+// Name implements Policy.
+func (*ARC) Name() string { return "ARC" }
+
+// Insert implements Policy: the block became resident after a miss (or a
+// ghost hit, which adapts p).
+func (a *ARC) Insert(id grid.BlockID) {
+	if e, ok := a.where[id]; ok {
+		switch e.list {
+		case a.t1, a.t2:
+			a.Touch(id)
+		case a.b1:
+			// Ghost hit in B1: favor recency.
+			a.p = minInt(a.capacity, a.p+maxInt(1, a.b2.size/maxInt(1, a.b1.size)))
+			a.moveTo(e, a.t2)
+		case a.b2:
+			// Ghost hit in B2: favor frequency.
+			a.p = maxInt(0, a.p-maxInt(1, a.b1.size/maxInt(1, a.b2.size)))
+			a.moveTo(e, a.t2)
+		}
+		return
+	}
+	n := &node{id: id}
+	a.where[id] = &arcEntry{n: n, list: a.t1}
+	a.t1.pushBack(n)
+}
+
+// Touch implements Policy: a hit promotes the block to T2's MRU end.
+func (a *ARC) Touch(id grid.BlockID) {
+	e, ok := a.where[id]
+	if !ok || (e.list != a.t1 && e.list != a.t2) {
+		return
+	}
+	a.moveTo(e, a.t2)
+}
+
+func (a *ARC) moveTo(e *arcEntry, dst *list) {
+	e.list.remove(e.n)
+	dst.pushBack(e.n)
+	e.list = dst
+}
+
+// Remove implements Policy: the hierarchy evicted the block. It becomes a
+// ghost in B1/B2 so a future re-reference can adapt p.
+func (a *ARC) Remove(id grid.BlockID) {
+	e, ok := a.where[id]
+	if !ok {
+		return
+	}
+	switch e.list {
+	case a.t1:
+		a.moveTo(e, a.b1)
+		a.trimGhost(a.b1)
+	case a.t2:
+		a.moveTo(e, a.b2)
+		a.trimGhost(a.b2)
+	default:
+		// Removing a ghost drops it entirely.
+		e.list.remove(e.n)
+		delete(a.where, id)
+	}
+}
+
+// trimGhost bounds a ghost list to capacity entries.
+func (a *ARC) trimGhost(l *list) {
+	for l.size > a.capacity {
+		n := l.front()
+		l.remove(n)
+		delete(a.where, n.id)
+	}
+}
+
+// Victim implements Policy: ARC's REPLACE rule — evict from T1 when it
+// exceeds the target p, otherwise from T2.
+func (a *ARC) Victim() (grid.BlockID, bool) {
+	return a.VictimWhere(func(grid.BlockID) bool { return true })
+}
+
+// VictimWhere implements Policy.
+func (a *ARC) VictimWhere(allowed func(grid.BlockID) bool) (grid.BlockID, bool) {
+	first, second := a.t1, a.t2
+	if a.t1.size == 0 || (a.t1.size < maxInt(1, a.p) && a.t2.size > 0) {
+		first, second = a.t2, a.t1
+	}
+	if id, ok := first.scan(allowed); ok {
+		return id, true
+	}
+	return second.scan(allowed)
+}
+
+// Contains implements Policy: only resident (T1/T2) blocks count.
+func (a *ARC) Contains(id grid.BlockID) bool {
+	e, ok := a.where[id]
+	return ok && (e.list == a.t1 || e.list == a.t2)
+}
+
+// Len implements Policy.
+func (a *ARC) Len() int { return a.t1.size + a.t2.size }
+
+// P exposes the adaptation target for tests.
+func (a *ARC) P() int { return a.p }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

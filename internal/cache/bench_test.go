@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// benchCycle drives a policy through a mixed insert/touch/evict workload
+// with a working set of `span` blocks and capacity `cap` blocks.
+func benchCycle(b *testing.B, p Policy, span, cap int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		id := grid.BlockID(i % span)
+		if p.Contains(id) {
+			p.Touch(id)
+			continue
+		}
+		if p.Len() >= cap {
+			if v, ok := p.Victim(); ok {
+				p.Remove(v)
+			}
+		}
+		p.Insert(id)
+	}
+}
+
+func BenchmarkFIFOCycle(b *testing.B)  { benchCycle(b, NewFIFO(), 2048, 512) }
+func BenchmarkLRUCycle(b *testing.B)   { benchCycle(b, NewLRU(), 2048, 512) }
+func BenchmarkClockCycle(b *testing.B) { benchCycle(b, NewClock(), 2048, 512) }
+func BenchmarkLFUCycle(b *testing.B)   { benchCycle(b, NewLFU(), 2048, 512) }
+func BenchmarkARCCycle(b *testing.B)   { benchCycle(b, NewARC(512), 2048, 512) }
+
+func BenchmarkBeladyCycle(b *testing.B) {
+	// Belady needs a trace; synthesize a cyclic one long enough for b.N.
+	trace := make([]grid.BlockID, 1<<16)
+	for i := range trace {
+		trace[i] = grid.BlockID(i % 2048)
+	}
+	p := NewBelady(trace)
+	for i := 0; i < b.N; i++ {
+		p.SetStep(i % len(trace))
+		id := trace[i%len(trace)]
+		if p.Contains(id) {
+			p.Touch(id)
+			continue
+		}
+		if p.Len() >= 512 {
+			if v, ok := p.Victim(); ok {
+				p.Remove(v)
+			}
+		}
+		p.Insert(id)
+	}
+}
+
+func BenchmarkVictimWhere(b *testing.B) {
+	l := NewLRU()
+	for i := 0; i < 1024; i++ {
+		l.Insert(grid.BlockID(i))
+	}
+	// A filter admitting only the newest half forces a long scan.
+	allowed := func(id grid.BlockID) bool { return id >= 512 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := l.VictimWhere(allowed); !ok {
+			b.Fatal("no victim")
+		}
+	}
+}

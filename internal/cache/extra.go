@@ -1,0 +1,183 @@
+package cache
+
+// Ablation policies beyond the paper's baselines: CLOCK (second chance),
+// LFU, and ARC (Megiddo & Modha, cited by the paper's related work). They
+// let the experiments show where an application-agnostic adaptive policy
+// lands relative to the application-aware one.
+
+import "repro/internal/grid"
+
+// Clock is the second-chance approximation of LRU: resident blocks sit on a
+// circular list with a reference bit set on every hit; the hand skips (and
+// clears) referenced blocks when choosing a victim.
+type Clock struct {
+	order *list
+	nodes map[grid.BlockID]*node
+	ref   map[grid.BlockID]bool
+	hand  *node
+}
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	return &Clock{
+		order: newList(),
+		nodes: make(map[grid.BlockID]*node),
+		ref:   make(map[grid.BlockID]bool),
+	}
+}
+
+// Name implements Policy.
+func (*Clock) Name() string { return "CLOCK" }
+
+// Insert implements Policy.
+func (c *Clock) Insert(id grid.BlockID) {
+	if _, ok := c.nodes[id]; ok {
+		c.ref[id] = true
+		return
+	}
+	n := &node{id: id}
+	c.nodes[id] = n
+	c.order.pushBack(n)
+	c.ref[id] = false // fresh blocks get no second chance until touched
+}
+
+// Touch implements Policy.
+func (c *Clock) Touch(id grid.BlockID) {
+	if _, ok := c.nodes[id]; ok {
+		c.ref[id] = true
+	}
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(id grid.BlockID) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return
+	}
+	if c.hand == n {
+		c.hand = n.next
+	}
+	c.order.remove(n)
+	delete(c.nodes, id)
+	delete(c.ref, id)
+}
+
+// advanceHand returns the current hand node, initializing or wrapping as
+// needed. Returns nil when the list is empty.
+func (c *Clock) handNode() *node {
+	if c.order.size == 0 {
+		return nil
+	}
+	if c.hand == nil || c.hand.next == nil || c.hand == c.order.tail || c.hand == c.order.head {
+		c.hand = c.order.front()
+	}
+	return c.hand
+}
+
+// Victim implements Policy. It sweeps the hand, clearing reference bits,
+// until it finds an unreferenced block. The sweep mutates reference bits —
+// the standard CLOCK behaviour — but does not remove the victim.
+func (c *Clock) Victim() (grid.BlockID, bool) {
+	return c.VictimWhere(func(grid.BlockID) bool { return true })
+}
+
+// VictimWhere implements Policy.
+func (c *Clock) VictimWhere(allowed func(grid.BlockID) bool) (grid.BlockID, bool) {
+	n := c.handNode()
+	if n == nil {
+		return 0, false
+	}
+	// At most two full sweeps: one may clear all reference bits, the second
+	// must then find an unreferenced allowed block if any block is allowed.
+	for sweep := 0; sweep < 2*c.order.size+1; sweep++ {
+		if c.hand == c.order.tail || c.hand == c.order.head || c.hand == nil {
+			c.hand = c.order.front()
+		}
+		id := c.hand.id
+		if allowed(id) {
+			if !c.ref[id] {
+				return id, true
+			}
+			c.ref[id] = false
+		}
+		c.hand = c.hand.next
+	}
+	return 0, false
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(id grid.BlockID) bool { _, ok := c.nodes[id]; return ok }
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.order.size }
+
+// LFU evicts the least frequently used block, breaking ties by least recent
+// use. Frequencies persist only while a block is resident.
+type LFU struct {
+	freq  map[grid.BlockID]int64
+	stamp map[grid.BlockID]int64
+	tick  int64
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{freq: make(map[grid.BlockID]int64), stamp: make(map[grid.BlockID]int64)}
+}
+
+// Name implements Policy.
+func (*LFU) Name() string { return "LFU" }
+
+// Insert implements Policy.
+func (l *LFU) Insert(id grid.BlockID) {
+	l.tick++
+	l.freq[id]++
+	l.stamp[id] = l.tick
+}
+
+// Touch implements Policy.
+func (l *LFU) Touch(id grid.BlockID) {
+	if _, ok := l.freq[id]; !ok {
+		return
+	}
+	l.tick++
+	l.freq[id]++
+	l.stamp[id] = l.tick
+}
+
+// Remove implements Policy.
+func (l *LFU) Remove(id grid.BlockID) {
+	delete(l.freq, id)
+	delete(l.stamp, id)
+}
+
+// Victim implements Policy.
+func (l *LFU) Victim() (grid.BlockID, bool) {
+	return l.VictimWhere(func(grid.BlockID) bool { return true })
+}
+
+// VictimWhere implements Policy.
+func (l *LFU) VictimWhere(allowed func(grid.BlockID) bool) (grid.BlockID, bool) {
+	var best grid.BlockID
+	found := false
+	for id, f := range l.freq {
+		if !allowed(id) {
+			continue
+		}
+		if !found {
+			best, found = id, true
+			continue
+		}
+		bf := l.freq[best]
+		if f < bf || (f == bf && l.stamp[id] < l.stamp[best]) ||
+			(f == bf && l.stamp[id] == l.stamp[best] && id < best) {
+			best = id
+		}
+	}
+	return best, found
+}
+
+// Contains implements Policy.
+func (l *LFU) Contains(id grid.BlockID) bool { _, ok := l.freq[id]; return ok }
+
+// Len implements Policy.
+func (l *LFU) Len() int { return len(l.freq) }

@@ -1,0 +1,416 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func id(i int) grid.BlockID { return grid.BlockID(i) }
+
+// allPolicies returns a fresh instance of every policy for generic tests.
+// Belady gets a trace that never recurs so it behaves like "evict anything".
+func allPolicies() []Policy {
+	return []Policy{
+		NewFIFO(),
+		NewLRU(),
+		NewClock(),
+		NewLFU(),
+		NewARC(8),
+		NewBelady(nil),
+	}
+}
+
+func TestGenericEmptyVictim(t *testing.T) {
+	for _, p := range allPolicies() {
+		if _, ok := p.Victim(); ok {
+			t.Errorf("%s: Victim on empty policy returned ok", p.Name())
+		}
+		if _, ok := p.VictimWhere(func(grid.BlockID) bool { return true }); ok {
+			t.Errorf("%s: VictimWhere on empty policy returned ok", p.Name())
+		}
+		if p.Len() != 0 {
+			t.Errorf("%s: empty Len = %d", p.Name(), p.Len())
+		}
+	}
+}
+
+func TestGenericInsertRemoveContains(t *testing.T) {
+	for _, p := range allPolicies() {
+		p.Insert(id(1))
+		p.Insert(id(2))
+		p.Insert(id(3))
+		if p.Len() != 3 {
+			t.Errorf("%s: Len = %d, want 3", p.Name(), p.Len())
+		}
+		if !p.Contains(id(2)) {
+			t.Errorf("%s: Contains(2) false", p.Name())
+		}
+		p.Remove(id(2))
+		if p.Contains(id(2)) {
+			t.Errorf("%s: Contains(2) true after Remove", p.Name())
+		}
+		if p.Len() != 2 {
+			t.Errorf("%s: Len after Remove = %d", p.Name(), p.Len())
+		}
+		// Removing a non-resident block is a no-op.
+		p.Remove(id(99))
+		if p.Len() != 2 {
+			t.Errorf("%s: Remove(non-resident) changed Len to %d", p.Name(), p.Len())
+		}
+		// Touching a non-resident block is a no-op.
+		p.Touch(id(99))
+		if p.Contains(id(99)) {
+			t.Errorf("%s: Touch created residency", p.Name())
+		}
+	}
+}
+
+func TestGenericVictimIsResident(t *testing.T) {
+	for _, p := range allPolicies() {
+		for i := 0; i < 10; i++ {
+			p.Insert(id(i))
+		}
+		p.Touch(id(3))
+		p.Touch(id(7))
+		v, ok := p.Victim()
+		if !ok {
+			t.Errorf("%s: no victim", p.Name())
+			continue
+		}
+		if !p.Contains(v) {
+			t.Errorf("%s: victim %d not resident", p.Name(), v)
+		}
+	}
+}
+
+func TestGenericVictimWhereRespectsFilter(t *testing.T) {
+	for _, p := range allPolicies() {
+		for i := 0; i < 10; i++ {
+			p.Insert(id(i))
+		}
+		allowed := func(b grid.BlockID) bool { return b >= 5 }
+		v, ok := p.VictimWhere(allowed)
+		if !ok {
+			t.Errorf("%s: VictimWhere found nothing", p.Name())
+			continue
+		}
+		if v < 5 {
+			t.Errorf("%s: VictimWhere returned disallowed %d", p.Name(), v)
+		}
+		// Nothing allowed → no victim.
+		if _, ok := p.VictimWhere(func(grid.BlockID) bool { return false }); ok {
+			t.Errorf("%s: VictimWhere(false) returned ok", p.Name())
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	f.Insert(id(1))
+	f.Insert(id(2))
+	f.Insert(id(3))
+	// Hits must not affect FIFO order.
+	f.Touch(id(1))
+	f.Touch(id(1))
+	if v, _ := f.Victim(); v != id(1) {
+		t.Errorf("victim = %d, want 1", v)
+	}
+	// Re-inserting an existing block keeps its position.
+	f.Insert(id(1))
+	if v, _ := f.Victim(); v != id(1) {
+		t.Errorf("victim after reinsert = %d, want 1", v)
+	}
+	f.Remove(id(1))
+	if v, _ := f.Victim(); v != id(2) {
+		t.Errorf("next victim = %d, want 2", v)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	l := NewLRU()
+	l.Insert(id(1))
+	l.Insert(id(2))
+	l.Insert(id(3))
+	l.Touch(id(1)) // order now: 2, 3, 1
+	if v, _ := l.Victim(); v != id(2) {
+		t.Errorf("victim = %d, want 2", v)
+	}
+	l.Insert(id(2)) // reinsert refreshes recency: 3, 1, 2
+	if v, _ := l.Victim(); v != id(3) {
+		t.Errorf("victim = %d, want 3", v)
+	}
+}
+
+func TestLRUVictimWhereSkipsRecent(t *testing.T) {
+	l := NewLRU()
+	for i := 1; i <= 4; i++ {
+		l.Insert(id(i))
+	}
+	// Eviction order 1,2,3,4. Disallow 1 and 2 → victim must be 3.
+	v, ok := l.VictimWhere(func(b grid.BlockID) bool { return b >= 3 })
+	if !ok || v != id(3) {
+		t.Errorf("VictimWhere = %d,%v, want 3", v, ok)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock()
+	c.Insert(id(1))
+	c.Insert(id(2))
+	c.Insert(id(3))
+	c.Touch(id(1)) // 1 gets a second chance
+	v, ok := c.Victim()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v == id(1) {
+		t.Errorf("victim = 1 despite reference bit")
+	}
+	// After the sweep cleared 1's bit, a subsequent pass may evict it.
+	c.Remove(v)
+	v2, ok := c.Victim()
+	if !ok {
+		t.Fatal("no second victim")
+	}
+	if v2 == v {
+		t.Errorf("victim repeated after Remove")
+	}
+}
+
+func TestClockHandSurvivesRemove(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 5; i++ {
+		c.Insert(id(i))
+	}
+	v, _ := c.Victim()
+	c.Remove(v)
+	// Removing the node under the hand must not break subsequent sweeps.
+	for i := 0; i < 4; i++ {
+		v, ok := c.Victim()
+		if !ok {
+			t.Fatal("victim lost")
+		}
+		c.Remove(v)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after draining", c.Len())
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	l := NewLFU()
+	l.Insert(id(1))
+	l.Insert(id(2))
+	l.Insert(id(3))
+	l.Touch(id(1))
+	l.Touch(id(1))
+	l.Touch(id(3))
+	// Frequencies: 1→3, 2→1, 3→2.
+	if v, _ := l.Victim(); v != id(2) {
+		t.Errorf("victim = %d, want 2", v)
+	}
+	l.Remove(id(2))
+	if v, _ := l.Victim(); v != id(3) {
+		t.Errorf("victim = %d, want 3", v)
+	}
+}
+
+func TestLFUTieBreakByRecency(t *testing.T) {
+	l := NewLFU()
+	l.Insert(id(5))
+	l.Insert(id(9))
+	// Equal frequency 1: the older insert (5) is the victim.
+	if v, _ := l.Victim(); v != id(5) {
+		t.Errorf("victim = %d, want 5 (older)", v)
+	}
+}
+
+func TestARCPromotionToT2(t *testing.T) {
+	a := NewARC(4)
+	a.Insert(id(1))
+	a.Insert(id(2))
+	// A hit moves 1 into T2; T1's LRU is now 2.
+	a.Touch(id(1))
+	v, ok := a.Victim()
+	if !ok || v != id(2) {
+		t.Errorf("victim = %d,%v, want 2 from T1", v, ok)
+	}
+}
+
+func TestARCGhostHitAdaptsP(t *testing.T) {
+	a := NewARC(4)
+	a.Insert(id(1))
+	a.Insert(id(2))
+	a.Remove(id(1)) // 1 becomes a B1 ghost
+	if a.Contains(id(1)) {
+		t.Error("ghost still Contains")
+	}
+	p0 := a.P()
+	a.Insert(id(1)) // ghost hit in B1 increases p
+	if a.P() <= p0 {
+		t.Errorf("p = %d, want > %d after B1 ghost hit", a.P(), p0)
+	}
+	if !a.Contains(id(1)) {
+		t.Error("re-inserted ghost not resident")
+	}
+}
+
+func TestARCB2GhostHitDecreasesP(t *testing.T) {
+	a := NewARC(4)
+	a.Insert(id(1))
+	a.Touch(id(1)) // 1 in T2
+	a.Insert(id(2))
+	a.Remove(id(1)) // B2 ghost
+	// Raise p first so the decrease is observable.
+	a.Insert(id(3))
+	a.Remove(id(3))
+	a.Insert(id(3)) // B1 ghost hit: p up
+	p0 := a.P()
+	a.Insert(id(1)) // B2 ghost hit: p down
+	if a.P() >= p0 {
+		t.Errorf("p = %d, want < %d after B2 ghost hit", a.P(), p0)
+	}
+}
+
+func TestARCGhostTrimming(t *testing.T) {
+	a := NewARC(2)
+	for i := 0; i < 10; i++ {
+		a.Insert(id(i))
+		a.Remove(id(i))
+	}
+	// Ghost lists are bounded by capacity; stale ghosts were dropped.
+	ghosts := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := a.where[id(i)]; ok {
+			ghosts++
+		}
+	}
+	if ghosts > 2 {
+		t.Errorf("ghost entries = %d, want <= 2", ghosts)
+	}
+}
+
+func TestBeladyEvictsFarthest(t *testing.T) {
+	trace := []grid.BlockID{1, 2, 3, 1, 2, 1}
+	b := NewBelady(trace)
+	b.Insert(id(1))
+	b.Insert(id(2))
+	b.Insert(id(3))
+	b.SetStep(3) // about to process trace[3] = 1; next uses: 1→3, 2→4, 3→never
+	if v, _ := b.Victim(); v != id(3) {
+		t.Errorf("victim = %d, want 3 (never used again)", v)
+	}
+	b.Remove(id(3))
+	if v, _ := b.Victim(); v != id(2) {
+		t.Errorf("victim = %d, want 2 (used later than 1)", v)
+	}
+}
+
+func TestBeladyTieBreakDeterministic(t *testing.T) {
+	b := NewBelady([]grid.BlockID{})
+	b.Insert(id(7))
+	b.Insert(id(3))
+	// Neither recurs: smallest ID wins the tie.
+	if v, _ := b.Victim(); v != id(3) {
+		t.Errorf("victim = %d, want 3", v)
+	}
+}
+
+func TestBeladyOptimalOnSmallTrace(t *testing.T) {
+	// Classic example where OPT beats LRU: cyclic access 1,2,3,1,2,3...
+	// with capacity 2. OPT misses less than LRU (which misses every time).
+	trace := []grid.BlockID{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	missesFor := func(p Policy) int {
+		resident := map[grid.BlockID]bool{}
+		misses := 0
+		for i, b := range trace {
+			if sa, ok := p.(StepAware); ok {
+				sa.SetStep(i)
+			}
+			if resident[b] {
+				p.Touch(b)
+				continue
+			}
+			misses++
+			if len(resident) >= 2 {
+				v, ok := p.Victim()
+				if !ok {
+					t.Fatal("no victim")
+				}
+				p.Remove(v)
+				delete(resident, v)
+			}
+			p.Insert(b)
+			resident[b] = true
+		}
+		return misses
+	}
+	lruMisses := missesFor(NewLRU())
+	optMisses := missesFor(NewBelady(trace))
+	if optMisses >= lruMisses {
+		t.Errorf("OPT misses %d >= LRU misses %d", optMisses, lruMisses)
+	}
+	if lruMisses != 9 {
+		t.Errorf("LRU on cyclic trace = %d misses, want 9 (thrashing)", lruMisses)
+	}
+}
+
+// Property: for every policy, after any operation sequence Len equals the
+// number of distinct inserted-and-not-removed blocks, and victims are
+// always resident.
+func TestPolicyStateConsistencyProperty(t *testing.T) {
+	type opcode struct {
+		Op uint8
+		ID uint8
+	}
+	factories := []Factory{
+		func() Policy { return NewFIFO() },
+		func() Policy { return NewLRU() },
+		func() Policy { return NewClock() },
+		func() Policy { return NewLFU() },
+		func() Policy { return NewARC(8) },
+	}
+	for _, mk := range factories {
+		mk := mk
+		f := func(ops []opcode) bool {
+			p := mk()
+			ref := map[grid.BlockID]bool{}
+			for _, o := range ops {
+				b := grid.BlockID(o.ID % 16)
+				switch o.Op % 4 {
+				case 0:
+					p.Insert(b)
+					ref[b] = true
+				case 1:
+					p.Touch(b)
+				case 2:
+					p.Remove(b)
+					delete(ref, b)
+				case 3:
+					if v, ok := p.Victim(); ok {
+						if !ref[v] {
+							return false
+						}
+						p.Remove(v)
+						delete(ref, v)
+					}
+				}
+				if p.Len() != len(ref) {
+					return false
+				}
+				for b := range ref {
+					if !p.Contains(b) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 40}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", mk().Name(), err)
+		}
+	}
+}

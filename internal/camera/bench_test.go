@@ -1,0 +1,29 @@
+package camera
+
+import "testing"
+
+func BenchmarkSphericalPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Spherical(3, 10, 400)
+	}
+}
+
+func BenchmarkRandomPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Random(2.8, 3.2, 10, 15, 400, uint64(i))
+	}
+}
+
+func BenchmarkHeadMotionPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		HeadMotion(3, 400, uint64(i))
+	}
+}
+
+func BenchmarkMeanAngularStep(b *testing.B) {
+	p := Random(2.8, 3.2, 10, 15, 400, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MeanAngularStep()
+	}
+}

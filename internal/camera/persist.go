@@ -1,0 +1,80 @@
+package camera
+
+// Path persistence: interactive sessions record the camera trajectory so
+// experiments can be replayed on the exact exploration a scientist
+// performed. The format is line-oriented text: a name header followed by
+// one "x y z" position per line.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// Save writes the path.
+func (p Path) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vizcache-path %s\n", sanitizeName(p.Name)); err != nil {
+		return err
+	}
+	for _, s := range p.Steps {
+		if _, err := fmt.Fprintf(bw, "%.17g %.17g %.17g\n", s.X, s.Y, s.Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(name string) string {
+	if name == "" {
+		return "path"
+	}
+	return strings.ReplaceAll(name, "\n", " ")
+}
+
+// LoadPath reads a path written by Save.
+func LoadPath(r io.Reader) (Path, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Path{}, err
+		}
+		return Path{}, fmt.Errorf("camera: empty path file")
+	}
+	header := sc.Text()
+	const prefix = "# vizcache-path "
+	if !strings.HasPrefix(header, prefix) {
+		return Path{}, fmt.Errorf("camera: not a path file (header %q)", header)
+	}
+	p := Path{Name: strings.TrimPrefix(header, prefix)}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return Path{}, fmt.Errorf("camera: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		var coords [3]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return Path{}, fmt.Errorf("camera: line %d: %v", line, err)
+			}
+			coords[i] = v
+		}
+		p.Steps = append(p.Steps, vec.New(coords[0], coords[1], coords[2]))
+	}
+	if err := sc.Err(); err != nil {
+		return Path{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,70 @@
+package camera
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPathSaveLoadRoundTrip(t *testing.T) {
+	p := Random(2.5, 3.5, 5, 15, 50, 9)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPath(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name {
+		t.Errorf("name %q != %q", back.Name, p.Name)
+	}
+	if back.Len() != p.Len() {
+		t.Fatalf("len %d != %d", back.Len(), p.Len())
+	}
+	for i := range p.Steps {
+		if back.Steps[i] != p.Steps[i] {
+			t.Fatalf("step %d: %v != %v (precision loss)", i, back.Steps[i], p.Steps[i])
+		}
+	}
+}
+
+func TestLoadPathRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 2 3\n",
+		"# vizcache-path x\n1 2\n",
+		"# vizcache-path x\n1 2 z\n",
+	}
+	for i, c := range cases {
+		if _, err := LoadPath(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadPathSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# vizcache-path demo\n1 2 3\n\n# a comment\n4 5 6\n"
+	p, err := LoadPath(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Name != "demo" {
+		t.Errorf("path = %q len %d", p.Name, p.Len())
+	}
+}
+
+func TestSaveEmptyNameGetsDefault(t *testing.T) {
+	p := Path{Steps: Orbit(3, 3).Steps}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPath(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "path" {
+		t.Errorf("default name = %q", back.Name)
+	}
+}

@@ -1,0 +1,64 @@
+package entropy
+
+// T_important persistence: the table is a one-time pre-processing product
+// (§IV-C), so sessions save it once and reload it instead of re-scoring
+// every block.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	persistMagic   = 0x74696d70 // "timp"
+	persistVersion = 1
+)
+
+// Save serializes the table.
+func (t *Table) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{persistMagic, persistVersion, uint32(len(t.scores))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.scores {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a table written by Save.
+func Load(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("entropy: short header: %v", err)
+		}
+	}
+	if hdr[0] != persistMagic {
+		return nil, fmt.Errorf("entropy: not a T_important file")
+	}
+	if hdr[1] != persistVersion {
+		return nil, fmt.Errorf("entropy: unsupported version %d", hdr[1])
+	}
+	n := int(hdr[2])
+	if n < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("entropy: implausible block count %d", n)
+	}
+	scores := make([]float64, n)
+	for i := range scores {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("entropy: truncated at block %d: %v", i, err)
+		}
+		scores[i] = math.Float64frombits(bits)
+	}
+	return NewTable(scores), nil
+}

@@ -1,0 +1,72 @@
+package entropy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	scores := []float64{0.5, 3.2, 0, 7.125, 1e-9}
+	tab := NewTable(scores)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		if back.Score(grid.BlockID(i)) != tab.Score(grid.BlockID(i)) {
+			t.Fatalf("score %d differs", i)
+		}
+	}
+	// Ranking survives.
+	a, b := tab.Ranked(), back.Ranked()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranking differs at %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("nope nope nope nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	tab := NewTable(make([]float64, 100))
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-8])); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestSaveEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTable(nil).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("len = %d", back.Len())
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+// ExtLOD (extension, not a paper figure): quantifies the paper's §III-B
+// argument against conventional multi-resolution (LOD) rendering for
+// data-dependent operations. Views at increasing camera distance are costed
+// two ways:
+//
+//   - LOD: the visible set of the distance-selected pyramid level — cheap
+//     when far, but its values diverge from full resolution;
+//   - full resolution: every visible full-resolution block, the data the
+//     paper's app-aware policy keeps interactive.
+//
+// The table reports bytes-per-frame for both and the mean absolute
+// downsampling error of the selected LOD level: the accuracy the LOD
+// approach silently gives up on histograms, correlations, and iso-surfaces.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/camera"
+	"repro/internal/grid"
+	"repro/internal/lod"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// ExtLOD runs the comparison. Series: "lod_mb_per_frame",
+// "fullres_mb_per_frame", and "level_error", one entry per distance band.
+func ExtLOD(o Options) (*Result, error) {
+	o = o.WithDefaults()
+	ds, err := scaledDataset("3d_ball", o)
+	if err != nil {
+		return nil, err
+	}
+	block := grid.DivisionsFor(ds.Res, 512)
+	pyr, err := lod.NewPyramid(ds, block, 4)
+	if err != nil {
+		return nil, err
+	}
+	g := pyr.Grid(0)
+	theta := vec.Radians(o.ViewAngleDeg)
+	refDist := o.CameraDistance
+
+	tb := report.NewTable(
+		"Extension: LOD pyramid vs full resolution (3d_ball)",
+		"camera distance", "LOD level", "LOD MB/frame", "full-res MB/frame",
+		"LOD mean abs error")
+	res := newResult("ext-lod", tb)
+
+	dir := vec.New(0.3, 0.2, 1).Unit()
+	for _, mult := range []float64{1.0, 1.5, 2.5, 4.0} {
+		d := refDist * mult
+		cam := camera.Camera{Pos: dir.Scale(d), ViewAngle: theta}
+		sel := pyr.Select(cam, refDist)
+		level := 0
+		if len(sel) > 0 {
+			level = sel[0].Level
+		}
+		lodBytes := pyr.SelectionBytes(sel)
+		fullBytes := visibleBytes(ds, g, cam)
+		errLvl := pyr.DownsampleError(level, 0, 12)
+		tb.AddRow(d, level, float64(lodBytes)/(1<<20), float64(fullBytes)/(1<<20), errLvl)
+		res.Series["lod_mb_per_frame"] = append(res.Series["lod_mb_per_frame"],
+			float64(lodBytes)/(1<<20))
+		res.Series["fullres_mb_per_frame"] = append(res.Series["fullres_mb_per_frame"],
+			float64(fullBytes)/(1<<20))
+		res.Series["level_error"] = append(res.Series["level_error"], errLvl)
+		res.XLabels = append(res.XLabels, fmt.Sprintf("d=%g", d))
+	}
+
+	// End-to-end on a zoom path: the app-aware policy serves the
+	// full-resolution stream the LOD approach avoids.
+	imp := importanceFor(ds, g)
+	path := camera.Zoom(dir, refDist*2, refDist, o.Steps)
+	cfg := baseConfig(ds, g, path, o)
+	m, err := sim.RunAppAware(cfg, sim.AppAwareConfig{Importance: imp})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("zoom path (app-aware, full res)", "-", "-", "-",
+		fmt.Sprintf("demand I/O %v over %d steps", m.IOTime.Round(time.Millisecond), m.Steps))
+	res.Series["appaware_io_ms"] = []float64{float64(m.IOTime) / float64(time.Millisecond)}
+	return res, nil
+}
+
+// visibleBytes sums the storage footprint of the exact full-resolution
+// visible set.
+func visibleBytes(ds *volume.Dataset, g *grid.Grid, cam camera.Camera) int64 {
+	var total int64
+	for _, id := range visibility.VisibleSet(g, cam) {
+		total += g.Bytes(id, ds.ValueSize, ds.Variables)
+	}
+	return total
+}

@@ -1,0 +1,127 @@
+package experiments
+
+// ExtTime (extension): time-varying playback, the temporal analogue of the
+// paper's spatial prediction (and the setting of related work [14], T-BON).
+// A camera orbits slowly while the dataset advances one timestep per frame.
+// Blocks are keyed by (timestep, block): data from past timesteps is dead
+// weight, so plain LRU pays a full fetch of the visible set every frame.
+// The temporal prefetcher knows the access pattern — the *next* timestep's
+// blocks at the same spatial positions — and pulls their high-entropy
+// subset up the hierarchy while the current frame renders.
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/memhier"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// ExtTime runs temporal playback with and without next-timestep prefetch.
+// Series: "io_ms" = [baseline, prefetching], "total_ms" likewise.
+func ExtTime(o Options) (*Result, error) {
+	o = o.WithDefaults()
+	base, err := scaledDataset("3d_ball", o)
+	if err != nil {
+		return nil, err
+	}
+	timesteps := o.Steps / 4
+	if timesteps < 8 {
+		timesteps = 8
+	}
+	ts, err := volume.NewTimeSeries(base, timesteps, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ts.Grid(grid.DivisionsFor(ts.Res, 1024))
+	if err != nil {
+		return nil, err
+	}
+	theta := vec.Radians(o.ViewAngleDeg)
+	path := camera.Spherical(o.CameraDistance, 2, timesteps)
+	model := render.DefaultCostModel()
+
+	// Per-timestep importance tables (T_important is per-volume; a real
+	// deployment builds them in situ as each timestep lands).
+	imps := make([]*entropy.Table, timesteps)
+	for t := 0; t < timesteps; t++ {
+		imps[t] = entropy.Build(ts.At(t), g, entropy.Options{MaxSamplesPerAxis: 4})
+	}
+	nBlocks := g.NumBlocks()
+	globalID := func(t int, id grid.BlockID) grid.BlockID {
+		return grid.BlockID(t*nBlocks + int(id))
+	}
+	sizeOf := func(gid grid.BlockID) int64 {
+		return g.Bytes(grid.BlockID(int(gid)%nBlocks), ts.ValueSize, ts.Variables)
+	}
+
+	run := func(prefetchNext bool) (ioT, totalT time.Duration, missRate float64, err error) {
+		h, err := memhier.New(
+			memhier.StandardConfig(ts.At(0).TotalBytes(), o.CacheRatio,
+				func() cache.Policy { return cache.NewLRU() }),
+			sizeOf,
+		)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for t := 0; t < timesteps; t++ {
+			cam := camera.Camera{Pos: path.Steps[t], ViewAngle: theta}
+			visible := visibility.VisibleSet(g, cam)
+			before := h.DemandTime
+			for _, id := range visible {
+				h.Get(globalID(t, id))
+			}
+			stepIO := h.DemandTime - before
+			renderT := model.FrameTime(len(visible))
+			overlapped := renderT
+			if prefetchNext && t+1 < timesteps {
+				// During rendering, pull the next timestep's visible set
+				// (same camera vicinity, one step ahead) filtered by its
+				// importance ranking.
+				nextCam := camera.Camera{Pos: path.Steps[t+1], ViewAngle: theta}
+				nextVis := visibility.VisibleSet(g, nextCam)
+				sigma := imps[t+1].ThresholdForQuantile(0.9)
+				pBefore := h.PrefetchTime
+				for _, id := range nextVis {
+					if imps[t+1].Score(id) <= sigma {
+						continue
+					}
+					h.Prefetch(globalID(t+1, id))
+				}
+				if pf := h.PrefetchTime - pBefore; pf > overlapped {
+					overlapped = pf
+				}
+			}
+			ioT += stepIO
+			totalT += stepIO + overlapped
+		}
+		return ioT, totalT, h.TotalMissRate(), nil
+	}
+
+	tb := report.NewTable(
+		"Extension: time-varying playback with next-timestep prefetch (3d_ball series)",
+		"variant", "miss rate", "demand I/O", "total time")
+	res := newResult("ext-time", tb)
+	for _, v := range []struct {
+		name     string
+		prefetch bool
+	}{{"LRU, no temporal prefetch", false}, {"temporal importance prefetch", true}} {
+		io, total, miss, err := run(v.prefetch)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(v.name, miss, io, total)
+		res.Series["io_ms"] = append(res.Series["io_ms"], float64(io)/float64(time.Millisecond))
+		res.Series["total_ms"] = append(res.Series["total_ms"], float64(total)/float64(time.Millisecond))
+		res.Series["missrate"] = append(res.Series["missrate"], miss)
+		res.XLabels = append(res.XLabels, v.name)
+	}
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+// ExtVR (extension): the paper's §VI future-work use case — visualization
+// with head-mounted displays, whose motion profile differs from mouse-orbit
+// paths: long runs of sub-degree tremor/pursuit punctuated by 10–25°
+// saccades, at a much higher frame cadence. The tremor phase rewards
+// caching (near-total overlap between frames); the saccades stress
+// prediction. This experiment compares the policies on head-motion traces
+// and reports the saccade-frame I/O separately, since those frames are the
+// ones a VR system drops.
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// ExtVR runs the head-motion comparison. Series: "missrate" and "io_ms"
+// with one entry per policy (XLabels).
+func ExtVR(o Options) (*Result, error) {
+	o = o.WithDefaults()
+	ds, err := scaledDataset("3d_ball", o)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gridWithBlocks(ds, 2048)
+	if err != nil {
+		return nil, err
+	}
+	imp := importanceFor(ds, g)
+	path := camera.HeadMotion(o.CameraDistance, o.Steps, o.Seed)
+	cfg := baseConfig(ds, g, path, o)
+
+	tb := report.NewTable(
+		"Extension: head-mounted-display motion profile (3d_ball, 2048 blocks)",
+		"policy", "miss rate", "demand I/O", "total time")
+	res := newResult("ext-vr", tb)
+	add := func(name string, missRate float64, io, total time.Duration) {
+		tb.AddRow(name, missRate, io, total)
+		res.Series["missrate"] = append(res.Series["missrate"], missRate)
+		res.Series["io_ms"] = append(res.Series["io_ms"], float64(io)/float64(time.Millisecond))
+		res.XLabels = append(res.XLabels, name)
+	}
+	for _, b := range []struct {
+		name string
+		mk   cache.Factory
+	}{
+		{"FIFO", func() cache.Policy { return cache.NewFIFO() }},
+		{"LRU", func() cache.Policy { return cache.NewLRU() }},
+	} {
+		m, err := sim.RunBaseline(cfg, b.mk, b.name)
+		if err != nil {
+			return nil, err
+		}
+		add(m.Policy, m.MissRate, m.IOTime, m.TotalTime)
+	}
+	opt, err := sim.RunAppAware(cfg, sim.AppAwareConfig{Importance: imp})
+	if err != nil {
+		return nil, err
+	}
+	add(opt.Policy, opt.MissRate, opt.IOTime, opt.TotalTime)
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+// Fig. 12: miss rate across (a) a spherical path with 1–45° per-step
+// intervals and (b) a random path with 0–5° through 30–35° per-step
+// changes, on 3d_ball divided into 2048 blocks, comparing FIFO, LRU, and
+// OPT. Paper findings: miss rate grows with the per-step change under every
+// policy; OPT is roughly a quarter of the baselines on the spherical path
+// and a third of FIFO / half of LRU on the random path.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig12 runs both panels. Series: "spherical/<policy>" indexed by
+// SphericalDegrees, and "random/<policy>" indexed by RandomDegreeRanges.
+func Fig12(o Options) (*Result, error) {
+	o = o.WithDefaults()
+	ds, err := scaledDataset("3d_ball", o)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gridWithBlocks(ds, 2048)
+	if err != nil {
+		return nil, err
+	}
+	imp := importanceFor(ds, g)
+	tb := report.NewTable(
+		"Fig. 12: miss rate across spherical (a) and random (b) camera paths (3d_ball, 2048 blocks)",
+		"panel", "degrees/step", "FIFO", "LRU", "OPT")
+	res := newResult("fig12", tb)
+
+	run := func(panel, label string, path camera.Path) error {
+		cfg := baseConfig(ds, g, path, o)
+		fifo, err := sim.RunBaseline(cfg, func() cache.Policy { return cache.NewFIFO() }, "FIFO")
+		if err != nil {
+			return err
+		}
+		lru, err := sim.RunBaseline(cfg, func() cache.Policy { return cache.NewLRU() }, "LRU")
+		if err != nil {
+			return err
+		}
+		opt, err := sim.RunAppAware(cfg, sim.AppAwareConfig{Importance: imp})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(panel, label, fifo.MissRate, lru.MissRate, opt.MissRate)
+		res.Series[panel+"/FIFO"] = append(res.Series[panel+"/FIFO"], fifo.MissRate)
+		res.Series[panel+"/LRU"] = append(res.Series[panel+"/LRU"], lru.MissRate)
+		res.Series[panel+"/OPT"] = append(res.Series[panel+"/OPT"], opt.MissRate)
+		res.XLabels = append(res.XLabels, panel+"/"+label)
+		return nil
+	}
+
+	for _, d := range SphericalDegrees() {
+		if err := run("spherical", fmt.Sprintf("%g", d), sphericalPath(o, d)); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range RandomDegreeRanges() {
+		label := fmt.Sprintf("%g-%g", r[0], r[1])
+		if err := run("random", label, randomPath(o, r[0], r[1])); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

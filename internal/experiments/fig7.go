@@ -1,0 +1,86 @@
+package experiments
+
+// Fig. 7: miss rate (a) and I/O time (b) versus the number of sampled
+// camera positions, on all four datasets, over a random path with 10–15°
+// view-direction changes. The paper's finding: more sampling positions
+// monotonically reduce the miss rate, but the lookup-table query overhead
+// grows with table size, so the I/O time has a minimum at an intermediate
+// density (25,920 positions in the paper).
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/radius"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/visibility"
+)
+
+// PaperSamplingCounts are the sampling-position counts of Fig. 7.
+func PaperSamplingCounts() []int { return []int{5760, 11520, 25920, 72000, 108000} }
+
+// Fig7Datasets are the datasets swept in Fig. 7.
+func Fig7Datasets() []string {
+	return []string{"3d_ball", "lifted_mix_frac", "lifted_rr", "climate"}
+}
+
+// Fig7 runs the sampling-density sweep. Series are keyed
+// "<dataset>/missrate" and "<dataset>/iotime_ms", one value per sampling
+// count (XLabels).
+func Fig7(o Options) (*Result, error) {
+	o = o.WithDefaults()
+	counts := PaperSamplingCounts()
+	tb := report.NewTable(
+		"Fig. 7: miss rate and I/O time vs number of sampling camera positions (random path 10-15°)",
+		"dataset", "sampling positions", "miss rate", "I/O time", "query share")
+	res := newResult("fig7", tb)
+	for _, c := range counts {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%d", c))
+	}
+	for _, name := range Fig7Datasets() {
+		ds, err := scaledDataset(name, o)
+		if err != nil {
+			return nil, err
+		}
+		g, err := gridWithBlocks(ds, 2048)
+		if err != nil {
+			return nil, err
+		}
+		imp := importanceFor(ds, g)
+		path := randomPath(o, 10, 15)
+		cfg := baseConfig(ds, g, path, o)
+		for _, count := range counts {
+			topts := sim.DefaultTableOptions(cfg)
+			topts.NAzimuth, topts.NElevation, topts.NDistance =
+				visibility.LatticeForTotal(count, 10)
+			// Fig. 7 isolates the sampling-density effect: use the pure
+			// Eq. (6) radius without the step-distance floor, so sparse
+			// lattices whose key spacing exceeds r genuinely mispredict.
+			topts.Radius = radius.Dynamic{
+				Ratio: o.CacheRatio * o.CacheRatio,
+				Min:   0.02,
+			}
+			m, err := sim.RunAppAware(cfg, sim.AppAwareConfig{
+				TableOpts:  topts,
+				Importance: imp,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(name, count, m.MissRate, m.IOTime,
+				fmt.Sprintf("%.0f%%", 100*float64(m.QueryTime)/float64(max1(m.IOTime))))
+			res.Series[name+"/missrate"] = append(res.Series[name+"/missrate"], m.MissRate)
+			res.Series[name+"/iotime_ms"] = append(res.Series[name+"/iotime_ms"],
+				float64(m.IOTime)/float64(time.Millisecond))
+		}
+	}
+	return res, nil
+}
+
+func max1(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,45 @@
+package field
+
+import "testing"
+
+func BenchmarkBallSample(b *testing.B) {
+	var f Ball
+	for i := 0; i < b.N; i++ {
+		f.Sample(0, 0.3, 0.5, 0.7)
+	}
+}
+
+func BenchmarkCombustionSample(b *testing.B) {
+	f := NewCombustion("x", 1)
+	for i := 0; i < b.N; i++ {
+		f.Sample(0, 0.3, 0.5, 0.7)
+	}
+}
+
+func BenchmarkClimateBaseVariable(b *testing.B) {
+	f := NewClimate(8, 1)
+	for i := 0; i < b.N; i++ {
+		f.Sample(0, 0.3, 0.5, 0.7)
+	}
+}
+
+func BenchmarkClimateDerivedVariable(b *testing.B) {
+	f := NewClimate(8, 1)
+	for i := 0; i < b.N; i++ {
+		f.Sample(5, 0.3, 0.5, 0.7)
+	}
+}
+
+func BenchmarkNoiseSample(b *testing.B) {
+	n := NewNoise(1, 4, 2, 0.5)
+	for i := 0; i < b.N; i++ {
+		n.Sample(1.3, 2.5, 3.7)
+	}
+}
+
+func BenchmarkAdvectedSample(b *testing.B) {
+	a := NewAdvected(Ball{}, 1)
+	for i := 0; i < b.N; i++ {
+		a.SampleAt(0, 0.3, 0.5, 0.7, 12.5)
+	}
+}

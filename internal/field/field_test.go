@@ -1,0 +1,319 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBallProperties(t *testing.T) {
+	var b Ball
+	if b.Name() != "3d_ball" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if b.Variables() != 1 {
+		t.Errorf("Variables = %d", b.Variables())
+	}
+	// Center has the maximum intensity.
+	center := b.Sample(0, 0.5, 0.5, 0.5)
+	if center != 1 {
+		t.Errorf("center intensity = %g, want 1", center)
+	}
+	// Outside the ball the field is exactly zero (ambient region).
+	for _, p := range [][3]float64{{0, 0, 0}, {1, 1, 1}, {0.5, 0.5, 1.01}} {
+		if v := b.Sample(0, p[0], p[1], p[2]); v != 0 {
+			t.Errorf("exterior %v = %g, want 0", p, v)
+		}
+	}
+	// Intensity varies continuously inside: nearby samples are close.
+	v1 := b.Sample(0, 0.5, 0.5, 0.6)
+	v2 := b.Sample(0, 0.5, 0.5, 0.6001)
+	if math.Abs(v1-v2) > 0.01 {
+		t.Errorf("discontinuity: %g vs %g", v1, v2)
+	}
+}
+
+func TestBallRadialSymmetry(t *testing.T) {
+	var b Ball
+	r := 0.3
+	v1 := b.Sample(0, 0.5+r, 0.5, 0.5)
+	v2 := b.Sample(0, 0.5, 0.5+r, 0.5)
+	v3 := b.Sample(0, 0.5, 0.5, 0.5-r)
+	if math.Abs(v1-v2) > 1e-12 || math.Abs(v1-v3) > 1e-12 {
+		t.Errorf("not radially symmetric: %g %g %g", v1, v2, v3)
+	}
+}
+
+func TestCombustionStructure(t *testing.T) {
+	c := NewCombustion("lifted_rr", 7)
+	if c.Name() != "lifted_rr" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	// Lifted flame: near the nozzle exit (small y) the field is ~0.
+	low := c.Sample(0, 0.5, 0.02, 0.5)
+	if low > 0.1 {
+		t.Errorf("field below liftoff height = %g, want ~0", low)
+	}
+	// Downstream on the axis the field is substantial.
+	high := c.Sample(0, 0.5, 0.6, 0.5)
+	if high < 0.2 {
+		t.Errorf("downstream core = %g, want > 0.2", high)
+	}
+	// Far from the jet the ambient value is small.
+	amb := c.Sample(0, 0.02, 0.6, 0.02)
+	if amb > 0.2 {
+		t.Errorf("ambient = %g, want small", amb)
+	}
+	if amb >= high {
+		t.Errorf("ambient %g not below core %g", amb, high)
+	}
+}
+
+func TestCombustionDeterminism(t *testing.T) {
+	a := NewCombustion("x", 42)
+	b := NewCombustion("x", 42)
+	c := NewCombustion("x", 43)
+	same, diff := true, false
+	for i := 0; i < 50; i++ {
+		x, y, z := float64(i)*0.017, float64(i)*0.031, float64(i)*0.029
+		if a.Sample(0, x, y, z) != b.Sample(0, x, y, z) {
+			same = false
+		}
+		if a.Sample(0, x, y, z) != c.Sample(0, x, y, z) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different fields")
+	}
+	if !diff {
+		t.Error("different seeds produced identical fields")
+	}
+}
+
+func TestClimateVariables(t *testing.T) {
+	c := NewClimate(8, 11)
+	if got := c.Variables(); got != 8 {
+		t.Errorf("Variables = %d", got)
+	}
+	// Fewer than 3 requested variables are clamped to 3 base variables.
+	if got := NewClimate(1, 11).Variables(); got != 3 {
+		t.Errorf("clamped Variables = %d, want 3", got)
+	}
+}
+
+func TestClimateVortexPeaksAtEyewall(t *testing.T) {
+	c := NewClimate(3, 11)
+	// Wind magnitude: zero at the vortex center, peak near the core radius,
+	// decaying far away.
+	center := c.Sample(1, 0.7, 0.4, 0.5)
+	eyewall := c.Sample(1, 0.7+0.08, 0.4, 0.5)
+	far := c.Sample(1, 0.7+0.4, 0.4, 0.5)
+	if eyewall <= center {
+		t.Errorf("eyewall %g <= center %g", eyewall, center)
+	}
+	if eyewall <= far {
+		t.Errorf("eyewall %g <= far field %g", eyewall, far)
+	}
+}
+
+func TestClimateSmokeLocalized(t *testing.T) {
+	c := NewClimate(3, 11)
+	inPlume := c.Sample(0, 0.4, 0.25, 0.5)
+	offPlume := c.Sample(0, 0.4, 0.9, 0.5) // above the stratification layer
+	if inPlume <= offPlume {
+		t.Errorf("plume %g <= off-plume %g", inPlume, offPlume)
+	}
+}
+
+func TestClimateDerivedVariablesCorrelated(t *testing.T) {
+	// Derived variables are mixtures of the base fields, so across many
+	// sample points at least one derived variable must correlate strongly
+	// (|r| > 0.3) with a base variable.
+	c := NewClimate(6, 13)
+	n := 500
+	base := make([]float64, n)
+	derived := make([]float64, n)
+	rng := NewRand(5)
+	for v := 3; v < 6; v++ {
+		for i := 0; i < n; i++ {
+			x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+			base[i] = c.Sample(0, x, y, z)
+			derived[i] = c.Sample(v, x, y, z)
+		}
+		if r := math.Abs(pearson(base, derived)); r > 0.3 {
+			return // found a correlated pair; structure is present
+		}
+	}
+	t.Error("no derived variable correlates with smoke (|r| > 0.3)")
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestConstantAndGradient(t *testing.T) {
+	c := Constant{V: 3.5}
+	if got := c.Sample(0, 0.1, 0.9, 0.4); got != 3.5 {
+		t.Errorf("Constant.Sample = %g", got)
+	}
+	var g Gradient
+	if got := g.Sample(0, 0.25, 0, 0); got != 0.25 {
+		t.Errorf("Gradient.Sample = %g", got)
+	}
+	if g.Name() != "gradient" || c.Name() != "constant" {
+		t.Error("names wrong")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func{FieldName: "f", F: func(x, y, z float64) float64 { return x + y + z }}
+	if got := f.Sample(0, 1, 2, 3); got != 6 {
+		t.Errorf("Func.Sample = %g", got)
+	}
+	if f.Name() != "f" || f.Variables() != 1 {
+		t.Error("adapter metadata wrong")
+	}
+}
+
+func TestNoiseRange(t *testing.T) {
+	n := NewNoise(99, 4, 2, 0.5)
+	rng := NewRand(1)
+	for i := 0; i < 2000; i++ {
+		x, y, z := rng.Range(-10, 10), rng.Range(-10, 10), rng.Range(-10, 10)
+		v := n.Sample(x, y, z)
+		if v < 0 || v > 1 {
+			t.Fatalf("noise out of [0,1]: %g at (%g,%g,%g)", v, x, y, z)
+		}
+	}
+}
+
+func TestNoiseContinuity(t *testing.T) {
+	n := NewNoise(7, 3, 2, 0.5)
+	// Value noise is continuous: small steps cause small changes.
+	prev := n.Sample(0.5, 0.5, 0.5)
+	for i := 1; i <= 100; i++ {
+		x := 0.5 + float64(i)*0.001
+		v := n.Sample(x, 0.5, 0.5)
+		if math.Abs(v-prev) > 0.1 {
+			t.Fatalf("jump at x=%g: %g -> %g", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestNoiseOctaveClamping(t *testing.T) {
+	// Octaves outside [1,16] are clamped rather than rejected.
+	if n := NewNoise(1, 0, 2, 0.5); n.octaves != 1 {
+		t.Errorf("octaves clamped to %d, want 1", n.octaves)
+	}
+	if n := NewNoise(1, 100, 2, 0.5); n.octaves != 16 {
+		t.Errorf("octaves clamped to %d, want 16", n.octaves)
+	}
+}
+
+func TestNoiseDeterministicAcrossInstances(t *testing.T) {
+	a := NewNoise(5, 4, 2, 0.5)
+	b := NewNoise(5, 4, 2, 0.5)
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.173
+		if a.Sample(x, -x, 2*x) != b.Sample(x, -x, 2*x) {
+			t.Fatal("same-seed noise differs")
+		}
+	}
+}
+
+func TestNoiseVariesWithPosition(t *testing.T) {
+	n := NewNoise(3, 4, 2, 0.5)
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		seen[n.Sample(float64(i)*0.7, 0, 0)] = true
+	}
+	if len(seen) < 25 {
+		t.Errorf("noise too repetitive: %d distinct of 50", len(seen))
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed Rand differs")
+		}
+	}
+}
+
+func TestRandRange(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 7)
+		if v < 5 || v >= 7 {
+			t.Fatalf("Range out of bounds: %g", v)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(4)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for i, c := range counts {
+		if c < 500 {
+			t.Errorf("Intn bucket %d severely under-represented: %d", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+// Property: noise output is always within [0, 1] for arbitrary inputs.
+func TestNoiseRangeProperty(t *testing.T) {
+	n := NewNoise(21, 5, 2, 0.5)
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) ||
+			math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		x, y, z = math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6)
+		v := n.Sample(x, y, z)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the unit hash mapper stays in [0, 1).
+func TestUnitRangeProperty(t *testing.T) {
+	f := func(h uint64) bool {
+		v := unit(h)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package field
+
+import "math"
+
+// Noise is deterministic multi-octave value noise over ℝ³. It is seeded
+// explicitly, hash-based (no lattice tables to allocate), and safe for
+// concurrent use, which matters because block extraction runs in parallel
+// during table construction.
+type Noise struct {
+	seed       uint64
+	octaves    int
+	lacunarity float64
+	gain       float64
+	norm       float64 // normalizes the octave sum to [0, 1]
+}
+
+// NewNoise returns value noise with the given seed and fractal parameters.
+// octaves is clamped to [1, 16]; lacunarity is the per-octave frequency
+// multiplier (typically 2) and gain the per-octave amplitude multiplier
+// (typically 0.5).
+func NewNoise(seed uint64, octaves int, lacunarity, gain float64) *Noise {
+	if octaves < 1 {
+		octaves = 1
+	}
+	if octaves > 16 {
+		octaves = 16
+	}
+	n := &Noise{seed: seed, octaves: octaves, lacunarity: lacunarity, gain: gain}
+	amp, sum := 1.0, 0.0
+	for i := 0; i < octaves; i++ {
+		sum += amp
+		amp *= gain
+	}
+	n.norm = 1 / sum
+	return n
+}
+
+// Sample returns fractal value noise at (x, y, z), in [0, 1].
+func (n *Noise) Sample(x, y, z float64) float64 {
+	total, amp, freq := 0.0, 1.0, 1.0
+	for i := 0; i < n.octaves; i++ {
+		total += amp * n.octave(x*freq, y*freq, z*freq, uint64(i))
+		freq *= n.lacunarity
+		amp *= n.gain
+	}
+	return total * n.norm
+}
+
+// octave returns single-octave trilinearly interpolated value noise in [0,1].
+func (n *Noise) octave(x, y, z float64, oct uint64) float64 {
+	x0, y0, z0 := math.Floor(x), math.Floor(y), math.Floor(z)
+	fx, fy, fz := x-x0, y-y0, z-z0
+	// Smooth the interpolants to avoid lattice artifacts.
+	sx, sy, sz := fade(fx), fade(fy), fade(fz)
+	ix, iy, iz := int64(x0), int64(y0), int64(z0)
+
+	c000 := n.lattice(ix, iy, iz, oct)
+	c100 := n.lattice(ix+1, iy, iz, oct)
+	c010 := n.lattice(ix, iy+1, iz, oct)
+	c110 := n.lattice(ix+1, iy+1, iz, oct)
+	c001 := n.lattice(ix, iy, iz+1, oct)
+	c101 := n.lattice(ix+1, iy, iz+1, oct)
+	c011 := n.lattice(ix, iy+1, iz+1, oct)
+	c111 := n.lattice(ix+1, iy+1, iz+1, oct)
+
+	x00 := lerp(c000, c100, sx)
+	x10 := lerp(c010, c110, sx)
+	x01 := lerp(c001, c101, sx)
+	x11 := lerp(c011, c111, sx)
+	y0v := lerp(x00, x10, sy)
+	y1v := lerp(x01, x11, sy)
+	return lerp(y0v, y1v, sz)
+}
+
+// lattice hashes an integer lattice point to a value in [0, 1].
+func (n *Noise) lattice(x, y, z int64, oct uint64) float64 {
+	h := n.seed ^ (oct * 0xff51afd7ed558ccd)
+	h ^= uint64(x) * 0x9e3779b97f4a7c15
+	h = mix64(h)
+	h ^= uint64(y) * 0xc2b2ae3d27d4eb4f
+	h = mix64(h)
+	h ^= uint64(z) * 0x165667b19e3779f9
+	h = mix64(h)
+	return unit(h)
+}
+
+func fade(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+func lerp(a, b, t float64) float64 { return a + t*(b-a) }
+
+// mix64 is the splitmix64 finalizer: a fast, high-quality bit mixer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// unit maps a 64-bit hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// splitmix64 returns a deterministic stream generator over the seed; used to
+// derive stable per-variable mixing coefficients and jitter sequences.
+func splitmix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return mix64(state)
+	}
+}
+
+// Rand is a tiny deterministic PRNG (splitmix64-based) used wherever the
+// simulator needs reproducible pseudo-random sequences — camera jitter,
+// random paths — without touching the global math/rand state.
+type Rand struct {
+	next func() uint64
+}
+
+// NewRand returns a deterministic generator for the seed.
+func NewRand(seed uint64) *Rand { return &Rand{next: splitmix64(seed)} }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return unit(r.next()) }
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 { return lo + (hi-lo)*r.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("field: Intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}

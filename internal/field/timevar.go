@@ -1,0 +1,108 @@
+package field
+
+// Time-varying fields: the paper's datasets are "typically volumetric,
+// multivariate, and time-varying" (§III-A); the climate set is explicitly
+// time-varying. TimeSlice freezes one timestep of an evolving field so the
+// rest of the system (which is timestep-agnostic) can treat it as a plain
+// Field; the temporal evolution combines advection of the spatial domain
+// with phase evolution of a noise component, so consecutive timesteps are
+// strongly correlated (as simulation outputs are) while distant ones
+// decorrelate.
+
+import "math"
+
+// Evolving extends Field with a time dimension.
+type Evolving interface {
+	Field
+	// SampleAt returns variable v at position (x, y, z) and time t (in
+	// timestep units; fractional times interpolate the motion, not the
+	// data).
+	SampleAt(v int, x, y, z, t float64) float64
+}
+
+// Advected evolves a base field by advecting the sampling domain with a
+// constant velocity and rotating it slowly around the domain center, plus a
+// time-phased additive noise term — a cheap but structurally faithful model
+// of simulation dynamics (features move and deform; small scales churn).
+type Advected struct {
+	Base Field
+	// VelX, VelY, VelZ is the advection velocity in domain units per
+	// timestep.
+	VelX, VelY, VelZ float64
+	// Spin is the rotation around the domain center's Y axis, radians per
+	// timestep.
+	Spin float64
+	// Churn scales the time-phased noise amplitude (0 disables).
+	Churn float64
+	noise *Noise
+}
+
+// NewAdvected wraps base with default climate-like dynamics.
+func NewAdvected(base Field, seed uint64) *Advected {
+	return &Advected{
+		Base:  base,
+		VelX:  0.01,
+		VelZ:  0.004,
+		Spin:  0.008,
+		Churn: 0.05,
+		noise: NewNoise(seed, 3, 2, 0.5),
+	}
+}
+
+// Name implements Field.
+func (a *Advected) Name() string { return a.Base.Name() + "+t" }
+
+// Variables implements Field.
+func (a *Advected) Variables() int { return a.Base.Variables() }
+
+// Sample implements Field (time zero).
+func (a *Advected) Sample(v int, x, y, z float64) float64 {
+	return a.SampleAt(v, x, y, z, 0)
+}
+
+// SampleAt implements Evolving.
+func (a *Advected) SampleAt(v int, x, y, z, t float64) float64 {
+	// Rotate around the domain center, then translate (periodic domain so
+	// features re-enter instead of vanishing).
+	cx, cz := x-0.5, z-0.5
+	ang := -a.Spin * t
+	rx := cx*math.Cos(ang) - cz*math.Sin(ang) + 0.5
+	rz := cx*math.Sin(ang) + cz*math.Cos(ang) + 0.5
+	sx := wrap01(rx - a.VelX*t)
+	sy := wrap01(y - a.VelY*t)
+	sz := wrap01(rz - a.VelZ*t)
+	val := a.Base.Sample(v, sx, sy, sz)
+	if a.Churn != 0 {
+		val += a.Churn * (a.noise.Sample(4*x, 4*y+0.37*t, 4*z-0.23*t) - 0.5)
+	}
+	return val
+}
+
+func wrap01(v float64) float64 {
+	v = math.Mod(v, 1)
+	if v < 0 {
+		v++
+	}
+	return v
+}
+
+// timeSlice adapts one timestep of an Evolving field to the Field
+// interface.
+type timeSlice struct {
+	e Evolving
+	t float64
+}
+
+// TimeSlice returns the Field of timestep t of an evolving field.
+func TimeSlice(e Evolving, t float64) Field { return timeSlice{e: e, t: t} }
+
+// Name implements Field.
+func (s timeSlice) Name() string { return s.e.Name() }
+
+// Variables implements Field.
+func (s timeSlice) Variables() int { return s.e.Variables() }
+
+// Sample implements Field.
+func (s timeSlice) Sample(v int, x, y, z float64) float64 {
+	return s.e.SampleAt(v, x, y, z, s.t)
+}

@@ -1,0 +1,79 @@
+package field
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdvectedTimeZeroNearBase(t *testing.T) {
+	base := Ball{}
+	a := NewAdvected(base, 3)
+	a.Churn = 0 // isolate the advection term
+	for _, p := range [][3]float64{{0.5, 0.5, 0.5}, {0.3, 0.6, 0.4}, {0.8, 0.2, 0.7}} {
+		want := base.Sample(0, p[0], p[1], p[2])
+		got := a.SampleAt(0, p[0], p[1], p[2], 0)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("t=0 at %v: %g != base %g", p, got, want)
+		}
+	}
+}
+
+func TestAdvectedTemporalCoherence(t *testing.T) {
+	a := NewAdvected(Ball{}, 3)
+	// Consecutive timesteps correlate strongly; distant ones less so.
+	var near, far float64
+	n := 0
+	rng := NewRand(7)
+	for i := 0; i < 200; i++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		v0 := a.SampleAt(0, x, y, z, 10)
+		v1 := a.SampleAt(0, x, y, z, 11)
+		v50 := a.SampleAt(0, x, y, z, 60)
+		near += math.Abs(v1 - v0)
+		far += math.Abs(v50 - v0)
+		n++
+	}
+	if near/float64(n) >= far/float64(n) {
+		t.Errorf("adjacent-step change %.4f not below 50-step change %.4f",
+			near/float64(n), far/float64(n))
+	}
+}
+
+func TestAdvectedMovesFeatures(t *testing.T) {
+	a := NewAdvected(Ball{}, 3)
+	a.Churn = 0
+	// The ball edge at t=0 should be at a different place at t=40.
+	moved := 0
+	for i := 0; i < 100; i++ {
+		x := 0.5 + 0.25*math.Cos(float64(i))
+		z := 0.5 + 0.25*math.Sin(float64(i))
+		if math.Abs(a.SampleAt(0, x, 0.5, z, 0)-a.SampleAt(0, x, 0.5, z, 40)) > 0.01 {
+			moved++
+		}
+	}
+	if moved < 30 {
+		t.Errorf("only %d of 100 probe points changed after 40 steps", moved)
+	}
+}
+
+func TestTimeSliceAdapter(t *testing.T) {
+	a := NewAdvected(Ball{}, 3)
+	s := TimeSlice(a, 5)
+	if s.Name() != a.Name() || s.Variables() != a.Variables() {
+		t.Error("metadata not forwarded")
+	}
+	if got, want := s.Sample(0, 0.4, 0.5, 0.6), a.SampleAt(0, 0.4, 0.5, 0.6, 5); got != want {
+		t.Errorf("slice sample %g != evolving %g", got, want)
+	}
+}
+
+func TestWrap01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {1.25, 0.25}, {-0.25, 0.75}, {0, 0}, {2.5, 0.5},
+	}
+	for _, c := range cases {
+		if got := wrap01(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("wrap01(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+func mustGrid(t *testing.T, res, block Dims) *Grid {
+	t.Helper()
+	g, err := New(res, block)
+	if err != nil {
+		t.Fatalf("New(%v, %v): %v", res, block, err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		res, block Dims
+		ok         bool
+	}{
+		{Dims{64, 64, 64}, Dims{32, 32, 32}, true},
+		{Dims{64, 64, 64}, Dims{64, 64, 64}, true},
+		{Dims{0, 64, 64}, Dims{32, 32, 32}, false},
+		{Dims{64, 64, 64}, Dims{0, 32, 32}, false},
+		{Dims{64, 64, 64}, Dims{128, 32, 32}, false},
+		{Dims{64, 64, 64}, Dims{-1, 32, 32}, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.res, c.block)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%v, %v) err=%v, want ok=%v", c.res, c.block, err, c.ok)
+		}
+	}
+}
+
+func TestNumBlocksExactDivision(t *testing.T) {
+	g := mustGrid(t, Dims{128, 128, 128}, Dims{32, 32, 32})
+	if got := g.NumBlocks(); got != 64 {
+		t.Errorf("NumBlocks = %d, want 64", got)
+	}
+	if got := g.BlocksPerAxis(); got != (Dims{4, 4, 4}) {
+		t.Errorf("BlocksPerAxis = %v", got)
+	}
+}
+
+func TestNumBlocksPartialDivision(t *testing.T) {
+	// 100/32 = 3.125 → 4 blocks per axis, high blocks clipped.
+	g := mustGrid(t, Dims{100, 100, 100}, Dims{32, 32, 32})
+	if got := g.BlocksPerAxis(); got != (Dims{4, 4, 4}) {
+		t.Errorf("BlocksPerAxis = %v, want 4x4x4", got)
+	}
+	// The last block along X covers voxels [96, 100).
+	id := g.ID(3, 0, 0)
+	lo, hi := g.VoxelBounds(id)
+	if lo.X != 96 || hi.X != 100 {
+		t.Errorf("clipped bounds = [%d,%d), want [96,100)", lo.X, hi.X)
+	}
+	if got := g.VoxelCount(id); got != 4*32*32 {
+		t.Errorf("VoxelCount = %d, want %d", got, 4*32*32)
+	}
+}
+
+func TestLiftedRRPaperPartition(t *testing.T) {
+	// The paper's Fig. 11 setup: lifted_rr 800x800x400 in 50x100x50 blocks
+	// gives exactly 1024 blocks.
+	g := mustGrid(t, Dims{800, 800, 400}, Dims{50, 100, 50})
+	if got := g.NumBlocks(); got != 1024 {
+		t.Errorf("NumBlocks = %d, want 1024 (paper Fig. 11)", got)
+	}
+}
+
+func TestIDCoordsRoundTrip(t *testing.T) {
+	g := mustGrid(t, Dims{96, 64, 128}, Dims{32, 32, 32})
+	for i := 0; i < g.NumBlocks(); i++ {
+		id := BlockID(i)
+		bx, by, bz := g.Coords(id)
+		if got := g.ID(bx, by, bz); got != id {
+			t.Fatalf("round trip %d -> (%d,%d,%d) -> %d", id, bx, by, bz, got)
+		}
+	}
+}
+
+func TestIDPanicsOutOfRange(t *testing.T) {
+	g := mustGrid(t, Dims{64, 64, 64}, Dims{32, 32, 32})
+	defer func() {
+		if recover() == nil {
+			t.Error("ID out of range did not panic")
+		}
+	}()
+	g.ID(2, 0, 0)
+}
+
+func TestCoordsPanicsOutOfRange(t *testing.T) {
+	g := mustGrid(t, Dims{64, 64, 64}, Dims{32, 32, 32})
+	defer func() {
+		if recover() == nil {
+			t.Error("Coords out of range did not panic")
+		}
+	}()
+	g.Coords(BlockID(g.NumBlocks()))
+}
+
+func TestWorldNormalization(t *testing.T) {
+	// Longest edge maps to [-1, 1]; shorter edges keep aspect ratio.
+	g := mustGrid(t, Dims{800, 400, 200}, Dims{100, 100, 100})
+	h := g.HalfExtent()
+	if math.Abs(h.X-1) > 1e-12 {
+		t.Errorf("half X = %g, want 1", h.X)
+	}
+	if math.Abs(h.Y-0.5) > 1e-12 {
+		t.Errorf("half Y = %g, want 0.5", h.Y)
+	}
+	if math.Abs(h.Z-0.25) > 1e-12 {
+		t.Errorf("half Z = %g, want 0.25", h.Z)
+	}
+	wantRad := math.Sqrt(1 + 0.25 + 0.0625)
+	if math.Abs(g.EnclosingRadius()-wantRad) > 1e-12 {
+		t.Errorf("EnclosingRadius = %g, want %g", g.EnclosingRadius(), wantRad)
+	}
+}
+
+func TestVoxelWorldRoundTrip(t *testing.T) {
+	g := mustGrid(t, Dims{100, 200, 50}, Dims{25, 25, 25})
+	pts := [][3]float64{{0, 0, 0}, {100, 200, 50}, {50, 100, 25}, {13.5, 7.25, 42}}
+	for _, p := range pts {
+		w := g.VoxelToWorld(p[0], p[1], p[2])
+		x, y, z := g.WorldToVoxel(w)
+		if math.Abs(x-p[0]) > 1e-9 || math.Abs(y-p[1]) > 1e-9 || math.Abs(z-p[2]) > 1e-9 {
+			t.Errorf("round trip %v -> %v -> (%g,%g,%g)", p, w, x, y, z)
+		}
+	}
+}
+
+func TestCenterIsInsideBounds(t *testing.T) {
+	g := mustGrid(t, Dims{90, 60, 120}, Dims{32, 32, 32})
+	for _, id := range g.All() {
+		lo, hi := g.WorldBounds(id)
+		c := g.Center(id)
+		if c.X < lo.X || c.X > hi.X || c.Y < lo.Y || c.Y > hi.Y || c.Z < lo.Z || c.Z > hi.Z {
+			t.Fatalf("block %d center %v outside bounds [%v, %v]", id, c, lo, hi)
+		}
+	}
+}
+
+func TestCornersMatchBounds(t *testing.T) {
+	g := mustGrid(t, Dims{64, 64, 64}, Dims{32, 32, 32})
+	id := g.ID(1, 0, 1)
+	lo, hi := g.WorldBounds(id)
+	corners := g.Corners(id)
+	// All corners must be at lo or hi per axis, and all 8 distinct.
+	seen := map[vec.V3]bool{}
+	for _, c := range corners {
+		if (c.X != lo.X && c.X != hi.X) || (c.Y != lo.Y && c.Y != hi.Y) || (c.Z != lo.Z && c.Z != hi.Z) {
+			t.Errorf("corner %v not on bounds [%v, %v]", c, lo, hi)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("corners not distinct: %d unique", len(seen))
+	}
+}
+
+func TestBytes(t *testing.T) {
+	g := mustGrid(t, Dims{64, 64, 64}, Dims{32, 32, 32})
+	// 32³ voxels × 4 bytes × 1 variable
+	if got := g.Bytes(0, 4, 1); got != 32*32*32*4 {
+		t.Errorf("Bytes = %d", got)
+	}
+	// multivariate
+	if got := g.Bytes(0, 4, 10); got != 32*32*32*4*10 {
+		t.Errorf("Bytes 10 vars = %d", got)
+	}
+}
+
+func TestVoxelCountsSumToVolume(t *testing.T) {
+	// Invariant: partial blocks still tile the volume exactly.
+	cases := []struct{ res, block Dims }{
+		{Dims{100, 100, 100}, Dims{32, 32, 32}},
+		{Dims{800, 686, 215}, Dims{64, 64, 64}},
+		{Dims{294, 258, 98}, Dims{32, 32, 64}},
+	}
+	for _, c := range cases {
+		g := mustGrid(t, c.res, c.block)
+		var total int64
+		for _, id := range g.All() {
+			total += g.VoxelCount(id)
+		}
+		if total != c.res.Count() {
+			t.Errorf("res %v block %v: voxel sum %d != %d", c.res, c.block, total, c.res.Count())
+		}
+	}
+}
+
+func TestStandardBlockSizes(t *testing.T) {
+	sizes := StandardBlockSizes()
+	if len(sizes) != 6 {
+		t.Fatalf("want 6 standard sizes (paper §V-B1), got %d", len(sizes))
+	}
+	if sizes[0] != (Dims{32, 32, 64}) || sizes[5] != (Dims{128, 128, 128}) {
+		t.Errorf("unexpected endpoints: %v ... %v", sizes[0], sizes[5])
+	}
+	// Sizes must be non-decreasing in voxel count.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i].Count() < sizes[i-1].Count() {
+			t.Errorf("sizes not ordered at %d: %v < %v", i, sizes[i], sizes[i-1])
+		}
+	}
+}
+
+func TestDivisionsFor(t *testing.T) {
+	cases := []struct {
+		res Dims
+		n   int
+		tol float64 // allowed relative error on achieved block count
+	}{
+		{Dims{1024, 1024, 1024}, 2048, 0.05},
+		{Dims{1024, 1024, 1024}, 4096, 0.05},
+		{Dims{800, 800, 400}, 1024, 0.05},
+		{Dims{256, 256, 256}, 512, 0.05},
+	}
+	for _, c := range cases {
+		block := DivisionsFor(c.res, c.n)
+		g := mustGrid(t, c.res, block)
+		got := g.NumBlocks()
+		relErr := math.Abs(float64(got-c.n)) / float64(c.n)
+		if relErr > c.tol {
+			t.Errorf("DivisionsFor(%v, %d) -> block %v -> %d blocks (err %.1f%%)",
+				c.res, c.n, block, got, 100*relErr)
+		}
+	}
+}
+
+func TestDivisionsForOneBlock(t *testing.T) {
+	res := Dims{100, 50, 25}
+	if got := DivisionsFor(res, 1); got != res {
+		t.Errorf("DivisionsFor(n=1) = %v, want %v", got, res)
+	}
+}
+
+// Property: every block id round-trips through Coords/ID for random grids.
+func TestIDRoundTripProperty(t *testing.T) {
+	f := func(rx, ry, rz, bx, by, bz uint8) bool {
+		res := Dims{int(rx%60) + 4, int(ry%60) + 4, int(rz%60) + 4}
+		block := Dims{int(bx%4) + 1, int(by%4) + 1, int(bz%4) + 1}
+		g, err := New(res, block)
+		if err != nil {
+			return true // skip invalid combos
+		}
+		for _, id := range g.All() {
+			cx, cy, cz := g.Coords(id)
+			if g.ID(cx, cy, cz) != id {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: world bounds of all blocks lie within the volume half extent.
+func TestWorldBoundsWithinVolumeProperty(t *testing.T) {
+	f := func(rx, ry, rz uint8) bool {
+		res := Dims{int(rx%100) + 8, int(ry%100) + 8, int(rz%100) + 8}
+		g, err := New(res, Dims{8, 8, 8})
+		if err != nil {
+			return true
+		}
+		h := g.HalfExtent()
+		for _, id := range g.All() {
+			lo, hi := g.WorldBounds(id)
+			if lo.X < -h.X-1e-9 || hi.X > h.X+1e-9 ||
+				lo.Y < -h.Y-1e-9 || hi.Y > h.Y+1e-9 ||
+				lo.Z < -h.Z-1e-9 || hi.Z > h.Z+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimsString(t *testing.T) {
+	if got := (Dims{800, 686, 215}).String(); got != "800x686x215" {
+		t.Errorf("String = %q", got)
+	}
+}

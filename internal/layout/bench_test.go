@@ -1,0 +1,45 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func BenchmarkMortonEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MortonEncode(uint32(i), uint32(i>>8), uint32(i>>16))
+	}
+}
+
+func BenchmarkMortonDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MortonDecode(uint64(i) * 0x9e3779b97f4a7c15 & 0x7fffffffffffffff)
+	}
+}
+
+func BenchmarkMortonPositions(b *testing.B) {
+	g, err := grid.New(grid.Dims{X: 128, Y: 128, Z: 128}, grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Morton{}.Positions(g)
+	}
+}
+
+func BenchmarkFragments(b *testing.B) {
+	g, err := grid.New(grid.Dims{X: 128, Y: 128, Z: 128}, grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]grid.BlockID, 0, 512)
+	for i := 0; i < 512; i++ {
+		batch = append(batch, grid.BlockID(i*7%g.NumBlocks()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fragments(Morton{}, g, batch)
+	}
+}

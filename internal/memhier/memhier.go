@@ -1,0 +1,361 @@
+// Package memhier simulates the paper's multi-level memory hierarchy: cache
+// levels (DRAM, SSD) in front of an infinite backing store (HDD). Each level
+// has a byte capacity, a replacement policy, and a device cost model; the
+// package accounts hits, misses, and simulated I/O time per level.
+//
+// Read path: a block request probes levels fastest-first. On a hit the block
+// is touched; on a miss at every level the block is read from the backing
+// store. The request is charged the transfer time of the deepest device the
+// block was found on (the dominant cost term), and the block is installed
+// into every level above the hit, evicting victims chosen by each level's
+// policy. Evictions are free: blocks are read-only and always recoverable
+// from the backing store.
+package memhier
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+	"repro/internal/storage"
+)
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Device   storage.Device
+	Capacity int64 // bytes
+	Policy   cache.Policy
+}
+
+// Config describes a hierarchy: cache levels ordered fastest-first, plus the
+// backing store device that always holds every block.
+type Config struct {
+	Levels  []LevelConfig
+	Backing storage.Device
+}
+
+// Level is one cache level at runtime.
+type Level struct {
+	Device   storage.Device
+	Capacity int64
+	Policy   cache.Policy
+
+	resident map[grid.BlockID]int64 // id -> bytes
+	used     int64
+
+	// evictFilter, when non-nil, restricts which blocks may be evicted.
+	// When no allowed victim exists the level falls back to the policy's
+	// unrestricted victim so demand progress is always possible — unless
+	// strictFilter is set, in which case the install is skipped instead
+	// (speculative prefetches must never displace protected blocks).
+	evictFilter  func(grid.BlockID) bool
+	strictFilter bool
+
+	Hits      int64
+	Misses    int64
+	Demand    storage.Counter // demand reads served *from* this level
+	Evictions int64
+}
+
+// Contains reports whether the block is resident at this level.
+func (l *Level) Contains(id grid.BlockID) bool {
+	_, ok := l.resident[id]
+	return ok
+}
+
+// Used returns the bytes currently resident.
+func (l *Level) Used() int64 { return l.used }
+
+// Len returns the number of resident blocks.
+func (l *Level) Len() int { return len(l.resident) }
+
+// MissRate returns misses / (hits + misses), or 0 before any access.
+func (l *Level) MissRate() float64 {
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Misses) / float64(total)
+}
+
+// AccessResult describes one block request.
+type AccessResult struct {
+	// FoundLevel is the index of the level that served the request;
+	// len(levels) means the backing store.
+	FoundLevel int
+	// Time is the simulated transfer cost charged to the request.
+	Time time.Duration
+}
+
+// Hierarchy is a simulated multi-level cache hierarchy.
+type Hierarchy struct {
+	levels  []*Level
+	backing storage.Device
+	sizeOf  func(grid.BlockID) int64
+	clock   *storage.Clock
+
+	// PrefetchTime accumulates the cost of Prefetch calls, kept separate
+	// from demand I/O because the paper overlaps it with rendering.
+	PrefetchTime time.Duration
+	// PrefetchBatch amortizes per-operation device latency across
+	// prefetch reads (default 16): prefetchers issue blocks in large
+	// asynchronous elevator-order batches, while demand misses are
+	// synchronous random reads paying the full seek latency.
+	PrefetchBatch int
+	// DemandTime accumulates the cost of Get calls (the paper's I/O time).
+	DemandTime time.Duration
+}
+
+// New builds a hierarchy. sizeOf must return the byte size of any block the
+// caller will request; it is called on every install and must be
+// deterministic.
+func New(cfg Config, sizeOf func(grid.BlockID) int64) (*Hierarchy, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("memhier: no cache levels")
+	}
+	if sizeOf == nil {
+		return nil, fmt.Errorf("memhier: nil sizeOf")
+	}
+	h := &Hierarchy{
+		backing:       cfg.Backing,
+		sizeOf:        sizeOf,
+		clock:         &storage.Clock{},
+		PrefetchBatch: 16,
+	}
+	for i, lc := range cfg.Levels {
+		if lc.Capacity <= 0 {
+			return nil, fmt.Errorf("memhier: level %d capacity %d", i, lc.Capacity)
+		}
+		if lc.Policy == nil {
+			return nil, fmt.Errorf("memhier: level %d has nil policy", i)
+		}
+		h.levels = append(h.levels, &Level{
+			Device:   lc.Device,
+			Capacity: lc.Capacity,
+			Policy:   lc.Policy,
+			resident: make(map[grid.BlockID]int64),
+		})
+	}
+	return h, nil
+}
+
+// Levels returns the cache levels, fastest first. Callers may read stats but
+// must not mutate residency directly.
+func (h *Hierarchy) Levels() []*Level { return h.levels }
+
+// Clock returns the hierarchy's virtual clock.
+func (h *Hierarchy) Clock() *storage.Clock { return h.clock }
+
+// NumLevels returns the number of cache levels (excluding backing store).
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// SetEvictFilter restricts evictions at the given level to blocks satisfying
+// allowed (nil clears the filter). The paper's Algorithm 1 uses this to
+// replace only blocks whose last-use time predates the current view point.
+// With strict set, an install that would require evicting a disallowed
+// block is skipped entirely instead of falling back to an unrestricted
+// victim; demand fetches should leave strict unset so they always progress.
+func (h *Hierarchy) SetEvictFilter(level int, allowed func(grid.BlockID) bool) {
+	h.levels[level].evictFilter = allowed
+	h.levels[level].strictFilter = false
+}
+
+// SetStrictEvictFilter is SetEvictFilter without the fallback: installs that
+// cannot find an allowed victim are skipped.
+func (h *Hierarchy) SetStrictEvictFilter(level int, allowed func(grid.BlockID) bool) {
+	h.levels[level].evictFilter = allowed
+	h.levels[level].strictFilter = allowed != nil
+}
+
+// Get simulates a demand request for the block: probes levels fastest-first,
+// charges the transfer cost, installs the block into missed levels above the
+// hit, and advances the virtual clock.
+func (h *Hierarchy) Get(id grid.BlockID) AccessResult {
+	res := h.access(id, true)
+	h.DemandTime += res.Time
+	h.clock.Advance(res.Time)
+	return res
+}
+
+// Prefetch moves a block up the hierarchy exactly like Get but accounts its
+// cost to PrefetchTime and does not perturb hit/miss statistics: prefetches
+// are speculative work the paper overlaps with rendering, not part of the
+// miss rate.
+func (h *Hierarchy) Prefetch(id grid.BlockID) AccessResult {
+	res := h.access(id, false)
+	h.PrefetchTime += res.Time
+	h.clock.Advance(res.Time)
+	return res
+}
+
+func (h *Hierarchy) access(id grid.BlockID, demand bool) AccessResult {
+	found := len(h.levels) // backing store by default
+	for i, l := range h.levels {
+		if l.Contains(id) {
+			if demand {
+				l.Hits++
+			}
+			l.Policy.Touch(id)
+			found = i
+			break
+		}
+		if demand {
+			l.Misses++
+		}
+	}
+
+	size := h.sizeOf(id)
+	var t time.Duration
+	if found == 0 {
+		// Fast-memory hit: the data is already where the processing unit
+		// needs it; no transfer is charged.
+		return AccessResult{FoundLevel: 0, Time: 0}
+	}
+	src := h.backing
+	if found < len(h.levels) {
+		src = h.levels[found].Device
+	}
+	if demand {
+		t = src.TransferTime(size)
+		if found < len(h.levels) {
+			h.levels[found].Demand.Record(size, t)
+		}
+	} else {
+		t = src.TransferTimeBatched(size, h.PrefetchBatch)
+	}
+	// Install into every level above the hit.
+	for i := found - 1; i >= 0; i-- {
+		h.install(i, id, size)
+	}
+	return AccessResult{FoundLevel: found, Time: t}
+}
+
+// install makes the block resident at the level, evicting as needed. Blocks
+// larger than the level capacity are not cached (the request already paid
+// the transfer; there is simply nothing to keep).
+func (h *Hierarchy) install(level int, id grid.BlockID, size int64) {
+	l := h.levels[level]
+	if l.Contains(id) {
+		l.Policy.Touch(id)
+		return
+	}
+	if size > l.Capacity {
+		return
+	}
+	for l.used+size > l.Capacity {
+		victim, ok := grid.BlockID(0), false
+		if l.evictFilter != nil {
+			victim, ok = l.Policy.VictimWhere(l.evictFilter)
+		}
+		if !ok {
+			if l.strictFilter {
+				return // skip install rather than displace protected blocks
+			}
+			victim, ok = l.Policy.Victim()
+		}
+		if !ok {
+			// Nothing evictable (should not happen once resident blocks
+			// exist); refuse to install rather than loop forever.
+			return
+		}
+		h.evict(level, victim)
+	}
+	l.resident[id] = size
+	l.used += size
+	l.Policy.Insert(id)
+}
+
+// evict removes the block from the level.
+func (h *Hierarchy) evict(level int, id grid.BlockID) {
+	l := h.levels[level]
+	size, ok := l.resident[id]
+	if !ok {
+		return
+	}
+	delete(l.resident, id)
+	l.used -= size
+	l.Policy.Remove(id)
+	l.Evictions++
+}
+
+// Preload installs a block at the given level and every level below it
+// without charging time or touching statistics: the paper performs
+// importance-based pre-loading as a one-time preprocessing step before
+// interaction begins.
+func (h *Hierarchy) Preload(level int, id grid.BlockID) {
+	size := h.sizeOf(id)
+	for i := level; i < len(h.levels); i++ {
+		h.install(i, id, size)
+	}
+}
+
+// Contains reports whether the block is resident at the given level.
+func (h *Hierarchy) Contains(level int, id grid.BlockID) bool {
+	return h.levels[level].Contains(id)
+}
+
+// Fits reports whether the block could be installed at the level without
+// evicting anything (already-resident blocks trivially fit).
+func (h *Hierarchy) Fits(level int, id grid.BlockID) bool {
+	l := h.levels[level]
+	if l.Contains(id) {
+		return true
+	}
+	return l.used+h.sizeOf(id) <= l.Capacity
+}
+
+// SizeOf returns the byte size of a block per the hierarchy's size model.
+func (h *Hierarchy) SizeOf(id grid.BlockID) int64 { return h.sizeOf(id) }
+
+// LevelCapacity returns the byte capacity of a cache level.
+func (h *Hierarchy) LevelCapacity(level int) int64 { return h.levels[level].Capacity }
+
+// TotalMissRate returns total misses over total probes across all levels —
+// the paper's "total miss rate across DRAM, SSD and HDD".
+func (h *Hierarchy) TotalMissRate() float64 {
+	var hits, misses int64
+	for _, l := range h.levels {
+		hits += l.Hits
+		misses += l.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(hits+misses)
+}
+
+// ResetStats zeroes all counters (residency is preserved) so measurements
+// can exclude warm-up.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range h.levels {
+		l.Hits, l.Misses, l.Evictions = 0, 0, 0
+		l.Demand.Reset()
+	}
+	h.DemandTime = 0
+	h.PrefetchTime = 0
+	h.clock.Reset()
+}
+
+// StandardConfig returns the paper's experimental hierarchy for a dataset of
+// totalBytes: DRAM and SSD cache levels in front of an HDD backing store,
+// with each level sized to ratio × the capacity of the level below (§V-A:
+// ratio 0.5 means SSD = 50% and DRAM = 25% of the dataset size). policies
+// supplies a fresh policy per level.
+func StandardConfig(totalBytes int64, ratio float64, policies cache.Factory) Config {
+	ssd := int64(float64(totalBytes) * ratio)
+	dram := int64(float64(ssd) * ratio)
+	if ssd < 1 {
+		ssd = 1
+	}
+	if dram < 1 {
+		dram = 1
+	}
+	return Config{
+		Levels: []LevelConfig{
+			{Device: storage.DRAM(), Capacity: dram, Policy: policies()},
+			{Device: storage.SSD(), Capacity: ssd, Policy: policies()},
+		},
+		Backing: storage.HDD(),
+	}
+}

@@ -1,0 +1,224 @@
+// Package octree provides hierarchical visibility culling over a block
+// grid — the spatial indexing of the paper's related work ([16] Ueng's
+// out-of-core octrees, [7] Leutenegger & Ma's R-trees), used here to
+// accelerate exact visible-set computation: instead of testing every block
+// against the view cone (Eq. 1), whole subtrees are accepted or rejected
+// with conservative cone/AABB tests and only boundary leaves fall back to
+// the per-block predicate.
+//
+// The result is bit-for-bit identical to visibility.VisibleSet (the
+// equivalence is property-tested), only faster on fine partitions.
+package octree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// Tree is an octree over the blocks of a grid.
+type Tree struct {
+	g    *grid.Grid
+	root *node
+}
+
+// node covers the half-open block-coordinate box [lo, hi) and the world
+// AABB enclosing those blocks.
+type node struct {
+	loB, hiB    grid.Dims // block-coordinate range, half open
+	loW, hiW    vec.V3    // world bounds
+	center      vec.V3
+	radius      float64 // bounding-sphere radius around center
+	children    []*node // nil for leaves
+	blocks      []grid.BlockID
+	totalBlocks int
+}
+
+// Build constructs the tree; leaves hold at most leafBlocks blocks
+// (minimum 1).
+func Build(g *grid.Grid, leafBlocks int) *Tree {
+	if leafBlocks < 1 {
+		leafBlocks = 1
+	}
+	per := g.BlocksPerAxis()
+	t := &Tree{g: g}
+	t.root = t.build(grid.Dims{}, per, leafBlocks)
+	return t
+}
+
+func (t *Tree) build(lo, hi grid.Dims, leafBlocks int) *node {
+	n := &node{loB: lo, hiB: hi}
+	n.totalBlocks = (hi.X - lo.X) * (hi.Y - lo.Y) * (hi.Z - lo.Z)
+	// World bounds: low corner of the low block to high corner of the
+	// last block in range.
+	loID := t.g.ID(lo.X, lo.Y, lo.Z)
+	hiID := t.g.ID(hi.X-1, hi.Y-1, hi.Z-1)
+	n.loW, _ = t.g.WorldBounds(loID)
+	_, n.hiW = t.g.WorldBounds(hiID)
+	n.center = n.loW.Add(n.hiW).Scale(0.5)
+	n.radius = n.hiW.Sub(n.loW).Norm() / 2
+
+	if n.totalBlocks <= leafBlocks {
+		n.blocks = make([]grid.BlockID, 0, n.totalBlocks)
+		for bz := lo.Z; bz < hi.Z; bz++ {
+			for by := lo.Y; by < hi.Y; by++ {
+				for bx := lo.X; bx < hi.X; bx++ {
+					n.blocks = append(n.blocks, t.g.ID(bx, by, bz))
+				}
+			}
+		}
+		return n
+	}
+	midX := splitMid(lo.X, hi.X)
+	midY := splitMid(lo.Y, hi.Y)
+	midZ := splitMid(lo.Z, hi.Z)
+	for _, xr := range ranges(lo.X, midX, hi.X) {
+		for _, yr := range ranges(lo.Y, midY, hi.Y) {
+			for _, zr := range ranges(lo.Z, midZ, hi.Z) {
+				n.children = append(n.children, t.build(
+					grid.Dims{X: xr[0], Y: yr[0], Z: zr[0]},
+					grid.Dims{X: xr[1], Y: yr[1], Z: zr[1]},
+					leafBlocks,
+				))
+			}
+		}
+	}
+	return n
+}
+
+// splitMid returns the midpoint of [lo, hi), equal to lo when the range is
+// a single unit (degenerate axis: no split).
+func splitMid(lo, hi int) int {
+	if hi-lo <= 1 {
+		return lo
+	}
+	return (lo + hi) / 2
+}
+
+// ranges returns the non-empty sub-ranges [lo,mid) and [mid,hi).
+func ranges(lo, mid, hi int) [][2]int {
+	if mid <= lo || mid >= hi {
+		return [][2]int{{lo, hi}}
+	}
+	return [][2]int{{lo, mid}, {mid, hi}}
+}
+
+// VisibleSet returns exactly visibility.VisibleSet(g, cam) for a camera at
+// pos with full view angle theta, using hierarchical culling.
+func (t *Tree) VisibleSet(pos vec.V3, theta float64) []grid.BlockID {
+	out := make([]grid.BlockID, 0, t.g.NumBlocks()/8)
+	t.visit(t.root, pos, theta, &out)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (t *Tree) visit(n *node, pos vec.V3, theta float64, out *[]grid.BlockID) {
+	switch t.classify(n, pos, theta) {
+	case fullyOutside:
+		return
+	case fullyInside:
+		t.emitAll(n, out)
+		return
+	}
+	if n.children == nil {
+		for _, id := range n.blocks {
+			if visibility.BlockVisible(pos, theta, t.g, id) {
+				*out = append(*out, id)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.visit(c, pos, theta, out)
+	}
+}
+
+func (t *Tree) emitAll(n *node, out *[]grid.BlockID) {
+	if n.children == nil {
+		*out = append(*out, n.blocks...)
+		return
+	}
+	for _, c := range n.children {
+		t.emitAll(c, out)
+	}
+}
+
+type classification int
+
+const (
+	boundary classification = iota
+	fullyOutside
+	fullyInside
+)
+
+// classify is conservative with respect to the per-block predicate
+// (any-corner cone test OR camera inside the block):
+//
+//   - fullyInside requires every corner of the node's AABB to pass the
+//     cone test: the passing region is convex, so every point — hence
+//     every corner of every contained block — passes.
+//   - fullyOutside requires the node's bounding sphere to lie entirely
+//     outside the cone AND the camera to be outside the AABB: then no
+//     contained point passes and no block contains the camera.
+func (t *Tree) classify(n *node, pos vec.V3, theta float64) classification {
+	// Camera inside the node: never fully outside; interior blocks may
+	// contain it.
+	inside := pos.X >= n.loW.X && pos.X <= n.hiW.X &&
+		pos.Y >= n.loW.Y && pos.Y <= n.hiW.Y &&
+		pos.Z >= n.loW.Z && pos.Z <= n.hiW.Z
+
+	// Fully-inside test on the eight AABB corners.
+	allIn := true
+	for _, c := range corners(n.loW, n.hiW) {
+		if !visibility.CornerVisible(pos, c, theta) {
+			allIn = false
+			break
+		}
+	}
+	if allIn {
+		return fullyInside
+	}
+	if inside {
+		return boundary
+	}
+	// Fully-outside via bounding sphere: the minimum angle any point of
+	// the node can make with the view axis is at least
+	// angle(center) − asin(radius / dist).
+	toCenter := n.center.Sub(pos)
+	dist := toCenter.Norm()
+	if dist <= n.radius {
+		return boundary
+	}
+	minAngle := vec.AngleBetween(toCenter, pos.Neg()) - math.Asin(n.radius/dist)
+	if minAngle >= theta/2 {
+		return fullyOutside
+	}
+	return boundary
+}
+
+func corners(lo, hi vec.V3) [8]vec.V3 {
+	return [8]vec.V3{
+		{X: lo.X, Y: lo.Y, Z: lo.Z},
+		{X: hi.X, Y: lo.Y, Z: lo.Z},
+		{X: lo.X, Y: hi.Y, Z: lo.Z},
+		{X: hi.X, Y: hi.Y, Z: lo.Z},
+		{X: lo.X, Y: lo.Y, Z: hi.Z},
+		{X: hi.X, Y: lo.Y, Z: hi.Z},
+		{X: lo.X, Y: hi.Y, Z: hi.Z},
+		{X: hi.X, Y: hi.Y, Z: hi.Z},
+	}
+}
+
+// NumNodes returns the total node count (diagnostics).
+func (t *Tree) NumNodes() int { return countNodes(t.root) }
+
+func countNodes(n *node) int {
+	c := 1
+	for _, ch := range n.children {
+		c += countNodes(ch)
+	}
+	return c
+}

@@ -1,0 +1,145 @@
+package octree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/camera"
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+func testGrid(t testing.TB, res, block int) *grid.Grid {
+	t.Helper()
+	g, err := grid.New(grid.Dims{X: res, Y: res, Z: res}, grid.Dims{X: block, Y: block, Z: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sameSets(a, b []grid.BlockID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEquivalenceWithLinearScan(t *testing.T) {
+	g := testGrid(t, 64, 8) // 512 blocks
+	tree := Build(g, 8)
+	cams := []camera.Camera{
+		{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(10)},
+		{Pos: vec.New(2, 1.5, -1), ViewAngle: vec.Radians(30)},
+		{Pos: vec.New(-3, 0.2, 0.4), ViewAngle: vec.Radians(60)},
+		{Pos: vec.New(0.1, 0.1, 0.1), ViewAngle: vec.Radians(20)}, // inside the volume
+		{Pos: vec.New(0, 5, 0), ViewAngle: vec.Radians(5)},
+	}
+	for _, cam := range cams {
+		want := visibility.VisibleSet(g, cam)
+		got := tree.VisibleSet(cam.Pos, cam.ViewAngle)
+		if !sameSets(got, want) {
+			t.Errorf("cam %v: octree %d blocks != scan %d blocks", cam.Pos, len(got), len(want))
+		}
+	}
+}
+
+func TestEquivalenceProperty(t *testing.T) {
+	g := testGrid(t, 48, 8) // 216 blocks, anisotropy-free
+	tree := Build(g, 4)
+	rng := field.NewRand(9)
+	f := func(seed uint16) bool {
+		_ = seed
+		pos := vec.New(rng.Range(-4, 4), rng.Range(-4, 4), rng.Range(-4, 4))
+		theta := vec.Radians(rng.Range(2, 90))
+		cam := camera.Camera{Pos: pos, ViewAngle: theta}
+		return sameSets(tree.VisibleSet(pos, theta), visibility.VisibleSet(g, cam))
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalenceAnisotropicGrid(t *testing.T) {
+	// Non-cubic volumes with partial edge blocks exercise the degenerate
+	// split paths.
+	g, err := grid.New(grid.Dims{X: 100, Y: 60, Z: 28}, grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := Build(g, 4)
+	for _, pos := range camera.Orbit(2.5, 12).Steps {
+		cam := camera.Camera{Pos: pos, ViewAngle: vec.Radians(15)}
+		if !sameSets(tree.VisibleSet(pos, cam.ViewAngle), visibility.VisibleSet(g, cam)) {
+			t.Fatalf("mismatch at %v", pos)
+		}
+	}
+}
+
+func TestSingleBlockGrid(t *testing.T) {
+	// A one-block grid exposes Eq. (1)'s known blind spot: a block whose
+	// corners all lie outside the cone tests invisible even though the
+	// view axis pierces it. The octree must agree with the linear scan in
+	// both regimes: the blind spot (30° from distance 3, corners at ~35°)
+	// and a cone wide enough to contain a corner.
+	g := testGrid(t, 16, 16) // one block spanning the whole volume
+	tree := Build(g, 4)
+	for _, c := range []camera.Camera{
+		{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(30)},  // blind spot
+		{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(80)},  // corner inside
+		{Pos: vec.New(0, 0, 0.5), ViewAngle: vec.Radians(5)}, // camera inside
+	} {
+		want := visibility.VisibleSet(g, c)
+		got := tree.VisibleSet(c.Pos, c.ViewAngle)
+		if !sameSets(got, want) {
+			t.Errorf("cam %v θ=%.2f: octree %v != scan %v", c.Pos, c.ViewAngle, got, want)
+		}
+	}
+	// The wide cone and inside-camera cases do see the block.
+	if got := tree.VisibleSet(vec.New(0, 0, 3), vec.Radians(80)); len(got) != 1 {
+		t.Errorf("wide-angle visible = %v, want the block", got)
+	}
+}
+
+func TestNumNodesGrowsWithFinerLeaves(t *testing.T) {
+	g := testGrid(t, 64, 8)
+	coarse := Build(g, 64)
+	fine := Build(g, 1)
+	if fine.NumNodes() <= coarse.NumNodes() {
+		t.Errorf("fine tree %d nodes <= coarse %d", fine.NumNodes(), coarse.NumNodes())
+	}
+}
+
+func TestLeafBlocksClamped(t *testing.T) {
+	g := testGrid(t, 32, 8)
+	tree := Build(g, 0) // clamped to 1
+	got := tree.VisibleSet(vec.New(0, 0, 3), vec.Radians(20))
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	if !sameSets(got, visibility.VisibleSet(g, cam)) {
+		t.Error("leafBlocks=0 tree incorrect")
+	}
+}
+
+func BenchmarkOctreeVsScan(b *testing.B) {
+	g := testGrid(b, 128, 8) // 4096 blocks
+	tree := Build(g, 8)
+	cam := camera.Camera{Pos: vec.New(0.4, 0.3, 3), ViewAngle: vec.Radians(10)}
+	b.Run("octree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.VisibleSet(cam.Pos, cam.ViewAngle)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			visibility.VisibleSet(g, cam)
+		}
+	})
+}

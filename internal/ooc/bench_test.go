@@ -1,0 +1,66 @@
+package ooc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// BenchmarkFrame measures one warm out-of-core frame (parallel cache reads
+// plus prefetch scheduling) on a 512-block file.
+func BenchmarkFrame(b *testing.B) {
+	ds := volume.Ball().Scale(1.0 / 16)
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.bvol")
+	if err := store.Write(path, ds, g, 0); err != nil {
+		b.Fatal(err)
+	}
+	bf, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bf.Close()
+	mc, err := store.NewMemCache(bf, ds.TotalBytes(), cache.NewLRU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp := entropy.Build(ds, g, entropy.Options{})
+	vis, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: 16, NElevation: 8, NDistance: 2,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(10),
+		Radius:    radius.Fixed(0.2),
+		Lazy:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := New(mc, vis, imp, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(10)}
+	visible := visibility.VisibleSet(g, cam)
+	if _, err := rt.Frame(cam.Pos, visible); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Frame(cam.Pos, visible); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package ooc is a real-I/O out-of-core runtime implementing the paper's
+// stated future work (§VI): parallel data fetching overlapped with
+// rendering. It combines the file-backed block store (package store) with
+// the prediction tables (packages visibility and entropy): each frame's
+// visible blocks are fetched by a bounded worker pool, and the vicinity's
+// predicted high-entropy blocks are prefetched asynchronously by background
+// workers while the caller renders.
+//
+// Unlike package sim — which measures a simulated hierarchy on a virtual
+// clock — this package moves actual bytes; it is the runtime an application
+// would embed.
+package ooc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// Options configures the runtime.
+type Options struct {
+	// DemandWorkers bounds concurrent demand reads per frame (default
+	// GOMAXPROCS).
+	DemandWorkers int
+	// PrefetchWorkers bounds background prefetch goroutines (default 2).
+	PrefetchWorkers int
+	// QueueDepth bounds the pending-prefetch queue; when full, further
+	// predictions are dropped rather than blocking the frame (default 256).
+	QueueDepth int
+	// Sigma is the entropy threshold for prefetch candidates.
+	Sigma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DemandWorkers <= 0 {
+		o.DemandWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.PrefetchWorkers <= 0 {
+		o.PrefetchWorkers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Stats counts runtime activity. Read with Snapshot.
+type Stats struct {
+	Frames           int64
+	DemandReads      int64
+	PrefetchIssued   int64
+	PrefetchDropped  int64
+	PrefetchExecuted int64
+}
+
+// Runtime drives a block cache with parallel demand fetching and
+// asynchronous predictive prefetching. Safe for use by one interactive
+// loop; Close must be called to stop the prefetch workers.
+type Runtime struct {
+	cache *store.MemCache
+	vis   *visibility.Table
+	imp   *entropy.Table
+	opts  Options
+
+	prefetchCh chan grid.BlockID
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+
+	frames           atomic.Int64
+	demandReads      atomic.Int64
+	prefetchIssued   atomic.Int64
+	prefetchDropped  atomic.Int64
+	prefetchExecuted atomic.Int64
+}
+
+// New starts the runtime's prefetch workers.
+func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts Options) (*Runtime, error) {
+	if cache == nil || vis == nil || imp == nil {
+		return nil, fmt.Errorf("ooc: nil component")
+	}
+	opts = opts.withDefaults()
+	r := &Runtime{
+		cache:      cache,
+		vis:        vis,
+		imp:        imp,
+		opts:       opts,
+		prefetchCh: make(chan grid.BlockID, opts.QueueDepth),
+	}
+	for w := 0; w < opts.PrefetchWorkers; w++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for id := range r.prefetchCh {
+				// Best-effort: a failed prefetch only means the block will
+				// be demand-read later.
+				if err := r.cache.Prefetch(id); err == nil {
+					r.prefetchExecuted.Add(1)
+				}
+			}
+		}()
+	}
+	return r, nil
+}
+
+// Frame fetches every visible block (in parallel) and returns their voxel
+// data indexed like visible. Before returning it enqueues asynchronous
+// prefetches for the camera vicinity's predicted high-entropy blocks, which
+// proceed while the caller renders the returned data.
+func (r *Runtime) Frame(pos vec.V3, visible []grid.BlockID) ([][]float32, error) {
+	if r.closed.Load() {
+		return nil, fmt.Errorf("ooc: runtime closed")
+	}
+	r.frames.Add(1)
+	out := make([][]float32, len(visible))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.opts.DemandWorkers)
+	var firstErr atomic.Value
+	for i, id := range visible {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id grid.BlockID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			vals, err := r.cache.Get(id)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			out[i] = vals
+			r.demandReads.Add(1)
+		}(i, id)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+
+	// Schedule prediction-driven prefetch; never block the frame.
+	for _, id := range r.vis.Predict(pos) {
+		if r.imp.Score(id) <= r.opts.Sigma || r.cache.Contains(id) {
+			continue
+		}
+		select {
+		case r.prefetchCh <- id:
+			r.prefetchIssued.Add(1)
+		default:
+			r.prefetchDropped.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// Snapshot returns current counters.
+func (r *Runtime) Snapshot() Stats {
+	return Stats{
+		Frames:           r.frames.Load(),
+		DemandReads:      r.demandReads.Load(),
+		PrefetchIssued:   r.prefetchIssued.Load(),
+		PrefetchDropped:  r.prefetchDropped.Load(),
+		PrefetchExecuted: r.prefetchExecuted.Load(),
+	}
+}
+
+// CacheStats returns the underlying cache's hit/miss counts.
+func (r *Runtime) CacheStats() (hits, misses int64) { return r.cache.Stats() }
+
+// Close stops the prefetch workers and waits for them to drain. Frame must
+// not be called afterwards. Close is idempotent.
+func (r *Runtime) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	close(r.prefetchCh)
+	r.wg.Wait()
+}

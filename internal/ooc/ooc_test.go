@@ -1,0 +1,223 @@
+package ooc
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+type fixture struct {
+	g     *grid.Grid
+	bf    *store.BlockFile
+	cache *store.MemCache
+	vis   *visibility.Table
+	imp   *entropy.Table
+}
+
+func newFixture(t *testing.T, cacheBlocks int64) *fixture {
+	t.Helper()
+	ds := volume.Ball().Scale(1.0 / 32) // 32³
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ball.bvol")
+	if err := store.Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bf.Close() })
+	mc, err := store.NewMemCache(bf, cacheBlocks*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := entropy.Build(ds, g, entropy.Options{})
+	vis, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: 16, NElevation: 8, NDistance: 2,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(20),
+		Radius:    radius.Fixed(0.3),
+		Lazy:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{g: g, bf: bf, cache: mc, vis: vis, imp: imp}
+}
+
+func TestNewValidation(t *testing.T) {
+	f := newFixture(t, 16)
+	if _, err := New(nil, f.vis, f.imp, Options{}); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if _, err := New(f.cache, nil, f.imp, Options{}); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := New(f.cache, f.vis, nil, Options{}); err == nil {
+		t.Error("nil importance accepted")
+	}
+}
+
+func TestFrameReturnsAllVisibleBlocks(t *testing.T) {
+	f := newFixture(t, 32)
+	r, err := New(f.cache, f.vis, f.imp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	data, err := r.Frame(cam.Pos, visible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(visible) {
+		t.Fatalf("frame blocks = %d, want %d", len(data), len(visible))
+	}
+	for i, vals := range data {
+		if int64(len(vals)) != f.g.VoxelCount(visible[i]) {
+			t.Fatalf("block %d: %d values", visible[i], len(vals))
+		}
+	}
+	st := r.Snapshot()
+	if st.Frames != 1 || st.DemandReads != int64(len(visible)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFrameSchedulesPrefetch(t *testing.T) {
+	f := newFixture(t, 64)
+	r, err := New(f.cache, f.vis, f.imp, Options{Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	if _, err := r.Frame(cam.Pos, visible); err != nil {
+		t.Fatal(err)
+	}
+	// Close drains the queue, so after Close all issued prefetches have
+	// executed or been dropped.
+	r.Close()
+	st := r.Snapshot()
+	if st.PrefetchIssued == 0 {
+		t.Error("no prefetches issued")
+	}
+	if st.PrefetchExecuted+st.PrefetchDropped < st.PrefetchIssued {
+		t.Errorf("prefetch accounting inconsistent: %+v", st)
+	}
+}
+
+func TestPrefetchImprovesSecondFrame(t *testing.T) {
+	f := newFixture(t, 128)
+	r, err := New(f.cache, f.vis, f.imp, Options{Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	theta := vec.Radians(20)
+	p1 := vec.New(0, 0, 3)
+	p2 := vec.RotateAbout(p1, vec.New(0, 1, 0), vec.Radians(5))
+	v1 := visibility.VisibleSet(f.g, camera.Camera{Pos: p1, ViewAngle: theta})
+	if _, err := r.Frame(p1, v1); err != nil {
+		t.Fatal(err)
+	}
+	// Give the async prefetchers time to drain the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := r.Snapshot()
+		if st.PrefetchExecuted+st.PrefetchDropped >= st.PrefetchIssued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hitsBefore, missesBefore := r.CacheStats()
+	v2 := visibility.VisibleSet(f.g, camera.Camera{Pos: p2, ViewAngle: theta})
+	if _, err := r.Frame(p2, v2); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, missesAfter := r.CacheStats()
+	newHits := hitsAfter - hitsBefore
+	newMisses := missesAfter - missesBefore
+	// The 5°-rotated frame overlaps heavily and was prefetched: most of it
+	// must hit the cache.
+	if newHits <= newMisses {
+		t.Errorf("second frame: %d hits vs %d misses; prefetch ineffective",
+			newHits, newMisses)
+	}
+}
+
+func TestFrameAfterCloseFails(t *testing.T) {
+	f := newFixture(t, 16)
+	r, err := New(f.cache, f.vis, f.imp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Frame(vec.New(0, 0, 3), []grid.BlockID{0}); err == nil {
+		t.Error("Frame after Close succeeded")
+	}
+}
+
+func TestQueueOverflowDropsNotBlocks(t *testing.T) {
+	f := newFixture(t, 512)
+	// Queue depth 1 with zero workers would deadlock if Frame blocked;
+	// with drops it must return promptly.
+	r, err := New(f.cache, f.vis, f.imp, Options{QueueDepth: 1, PrefetchWorkers: 1, Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Frame(cam.Pos, visible); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Frame blocked on full prefetch queue")
+	}
+}
+
+func TestConcurrentFramesStressCache(t *testing.T) {
+	// Tiny cache forces constant eviction under parallel demand reads.
+	f := newFixture(t, 4)
+	r, err := New(f.cache, f.vis, f.imp, Options{Sigma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	theta := vec.Radians(20)
+	path := camera.Orbit(3, 20)
+	for _, pos := range path.Steps {
+		visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+		data, err := r.Frame(pos, visible)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if data[i] == nil {
+				t.Fatal("nil block data")
+			}
+		}
+	}
+}

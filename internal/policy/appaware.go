@@ -1,0 +1,290 @@
+// Package policy implements the paper's primary contribution: the
+// application-aware I/O optimization of Algorithm 1. It combines the
+// T_visible camera-sampling table (package visibility) and the T_important
+// entropy ranking (package entropy) to drive a memory hierarchy (package
+// memhier):
+//
+//  1. Initialization pre-loads blocks whose entropy exceeds the threshold σ
+//     into fast memory (lines 1–7).
+//  2. For each view point, visible blocks are fetched on demand; the victim
+//     is the least-recently-used block whose last use predates the current
+//     view point, protecting the working set of the frame (lines 8–19).
+//  3. During rendering, the nearest sampling position is looked up in
+//     T_visible and its high-entropy predicted blocks are prefetched,
+//     overlapped with rendering (lines 20–22).
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/memhier"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// Options configures the application-aware controller.
+type Options struct {
+	// Sigma is the entropy threshold σ: only blocks scoring above it are
+	// pre-loaded and prefetched. Use entropy.Table.ThresholdForQuantile to
+	// derive it from a target fraction.
+	Sigma float64
+	// Preload enables the line-7 importance pre-load (on by default in the
+	// paper; exposed for the ablation study).
+	Preload bool
+	// PrefetchEnabled enables the line-22 predictive prefetch (ablation).
+	PrefetchEnabled bool
+	// StaleOnlyEviction restricts replacement to blocks whose last use
+	// predates the current view point, Algorithm 1's "value in time should
+	// be less than i" (ablation; falls back to plain LRU order when no
+	// stale block exists).
+	StaleOnlyEviction bool
+}
+
+// DefaultOptions returns Algorithm 1 as published: preload, prefetch, and
+// stale-only eviction all enabled.
+func DefaultOptions(sigma float64) Options {
+	return Options{
+		Sigma:             sigma,
+		Preload:           true,
+		PrefetchEnabled:   true,
+		StaleOnlyEviction: true,
+	}
+}
+
+// StepResult reports the simulated costs of one view point.
+type StepResult struct {
+	// IOTime is the demand I/O spent fetching missing visible blocks
+	// (Algorithm 1 lines 14–19). It cannot be overlapped with rendering.
+	IOTime time.Duration
+	// PrefetchTime is the transfer time of predictive prefetching, which
+	// the paper overlaps with rendering.
+	PrefetchTime time.Duration
+	// QueryCost is the T_visible lookup overhead for this step.
+	QueryCost time.Duration
+	// DemandFetches counts visible blocks that missed fast memory.
+	DemandFetches int
+	// Prefetches counts blocks moved by the prefetcher.
+	Prefetches int
+}
+
+// AppAware drives a memory hierarchy with the paper's application-aware
+// replacement and prefetching. It is not safe for concurrent use.
+type AppAware struct {
+	h    *memhier.Hierarchy
+	vis  *visibility.Table
+	imp  *entropy.Table
+	opts Options
+
+	// lastUse is Algorithm 1's time[num_block]: the view-point index at
+	// which each block was last part of the rendered visible set; -1 when
+	// never used.
+	lastUse []int
+
+	// Prefetch utility accounting: pending marks blocks prefetched but not
+	// yet referenced by a frame; issued/used feed PrefetchUtility.
+	pending         map[grid.BlockID]struct{}
+	prefetchsIssued int64
+	prefetchsUsed   int64
+}
+
+// New wires the controller. The hierarchy, T_visible, and T_important must
+// all refer to the same block grid.
+func New(h *memhier.Hierarchy, vis *visibility.Table, imp *entropy.Table, opts Options) (*AppAware, error) {
+	if h == nil || vis == nil || imp == nil {
+		return nil, fmt.Errorf("policy: nil component")
+	}
+	n := vis.Grid().NumBlocks()
+	if imp.Len() != n {
+		return nil, fmt.Errorf("policy: importance table covers %d blocks, grid has %d", imp.Len(), n)
+	}
+	a := &AppAware{
+		h: h, vis: vis, imp: imp, opts: opts,
+		lastUse: make([]int, n),
+		pending: make(map[grid.BlockID]struct{}),
+	}
+	for i := range a.lastUse {
+		a.lastUse[i] = -1
+	}
+	if opts.Preload {
+		a.preload()
+	}
+	return a, nil
+}
+
+// Name identifies the policy in experiment output; the paper labels it OPT.
+func (a *AppAware) Name() string { return "OPT(app-aware)" }
+
+// preload implements line 7: load the block IDs whose entropy exceeds σ
+// into fast memory, most important first, stopping once fast memory is full
+// so the highest-entropy blocks are the ones that stay resident.
+func (a *AppAware) preload() {
+	for _, id := range a.imp.Ranked() {
+		if a.imp.Score(id) <= a.opts.Sigma {
+			break // ranked is descending; nothing further qualifies
+		}
+		if !a.h.Fits(0, id) {
+			break
+		}
+		a.h.Preload(0, id)
+	}
+}
+
+// LastUse returns Algorithm 1's time[] entry for a block (-1 = never used).
+func (a *AppAware) LastUse(id grid.BlockID) int { return a.lastUse[id] }
+
+// Step processes view point i at camera position pos whose exact visible
+// set is visible (computed by the renderer). It fetches misses, then
+// prefetches the predicted set for the vicinity, and reports the cost split
+// so the caller can overlap PrefetchTime with its render time.
+//
+// prefetchWindow bounds the transfer time spent prefetching this step: the
+// paper overlaps prefetching with rendering, so a real implementation stops
+// issuing prefetches when the frame finishes drawing. Zero means unbounded.
+func (a *AppAware) Step(i int, pos vec.V3, visible []grid.BlockID, prefetchWindow time.Duration) StepResult {
+	var res StepResult
+
+	// Lines 14–19: fetch missing visible blocks. Replacement may only claim
+	// blocks whose last use predates this view point, so blocks already
+	// fetched for frame i are protected from each other's installs.
+	if a.opts.StaleOnlyEviction {
+		a.setStaleFilter(i)
+	}
+	// Mark the frame's working set up front so concurrent installs cannot
+	// evict blocks fetched earlier in the same frame.
+	for _, id := range visible {
+		a.lastUse[id] = i
+	}
+	demandBefore := a.h.DemandTime
+	for _, id := range visible {
+		r := a.h.Get(id)
+		if r.FoundLevel > 0 {
+			res.DemandFetches++
+		}
+		if _, ok := a.pending[id]; ok {
+			// A previously prefetched block was referenced by a frame: the
+			// speculation paid off if it was still resident above the
+			// backing store.
+			if r.FoundLevel < a.h.NumLevels() {
+				a.prefetchsUsed++
+			}
+			delete(a.pending, id)
+		}
+	}
+	res.IOTime = a.h.DemandTime - demandBefore
+
+	// Lines 20–22: during rendering, look up the nearest sampling position
+	// and prefetch its high-entropy predicted blocks, still under the
+	// stale-only replacement constraint. The prefetch volume is clamped to
+	// the fast-memory budget left after the current frame's visible set —
+	// §IV-B's "ideal case is that the total size of the predicted and
+	// current visible blocks is equal to the cache size" — taking the most
+	// important predicted blocks first when over-predicted (§IV-C).
+	if a.opts.PrefetchEnabled {
+		res.QueryCost = a.vis.QueryCost()
+		key := a.vis.NearestKey(pos)
+		keyPos := a.vis.KeyPos(key)
+		predicted := a.vis.PredictedSet(key)
+		budget := a.h.LevelCapacity(0)
+		for _, id := range visible {
+			budget -= a.h.SizeOf(id)
+		}
+		// Speculative installs must not displace blocks used in the last
+		// few frames: interactive wobble revisits them with high
+		// probability, and a prefetch is never worth a near-certain
+		// demand miss. Strict mode skips the install instead of falling
+		// back (the block still lands in the slower levels, where the
+		// next demand fetch finds it cheaply).
+		if a.opts.StaleOnlyEviction {
+			const horizon = 2
+			allowed := func(id grid.BlockID) bool { return a.lastUse[id] < i-horizon }
+			for l := 0; l < a.h.NumLevels(); l++ {
+				a.h.SetStrictEvictFilter(l, allowed)
+			}
+		}
+		candidates := make([]grid.BlockID, 0, len(predicted))
+		for _, id := range predicted {
+			if a.imp.Score(id) <= a.opts.Sigma || a.h.Contains(0, id) {
+				continue
+			}
+			candidates = append(candidates, id)
+		}
+		// Within the σ-qualified candidates, prefetch the blocks nearest
+		// the *sampled key's* view axis first: the next view point is an
+		// angular perturbation of this vicinity, so corridor-central
+		// blocks have the highest probability of being in its visible set
+		// (§IV-C's "blocks with a higher possibility to be used for the
+		// next view point"). The ranking deliberately uses only T_visible
+		// information — the key position, not the live camera — so
+		// prediction quality degrades honestly when the sampling lattice
+		// is sparse (Fig. 7). Ties break by entropy, then ID.
+		axis := keyPos.Neg().Unit()
+		angleTo := func(id grid.BlockID) float64 {
+			return vec.AngleBetween(a.vis.Grid().Center(id).Sub(keyPos), axis)
+		}
+		angles := make(map[grid.BlockID]float64, len(candidates))
+		for _, id := range candidates {
+			angles[id] = angleTo(id)
+		}
+		sort.SliceStable(candidates, func(x, y int) bool {
+			ax, ay := angles[candidates[x]], angles[candidates[y]]
+			if ax != ay {
+				return ax < ay
+			}
+			sx, sy := a.imp.Score(candidates[x]), a.imp.Score(candidates[y])
+			if sx != sy {
+				return sx > sy
+			}
+			return candidates[x] < candidates[y]
+		})
+		prefetchBefore := a.h.PrefetchTime
+		for _, id := range candidates {
+			if prefetchWindow > 0 && a.h.PrefetchTime-prefetchBefore >= prefetchWindow {
+				break // the frame finished rendering; stop speculating
+			}
+			size := a.h.SizeOf(id)
+			if size > budget {
+				continue
+			}
+			budget -= size
+			a.h.Prefetch(id)
+			res.Prefetches++
+			if _, ok := a.pending[id]; !ok {
+				a.pending[id] = struct{}{}
+				a.prefetchsIssued++
+			}
+		}
+		res.PrefetchTime = a.h.PrefetchTime - prefetchBefore
+	}
+	if a.opts.StaleOnlyEviction {
+		a.clearFilter()
+	}
+	return res
+}
+
+// PrefetchUtility reports how much speculation paid off: issued counts
+// distinct blocks ever prefetched while unreferenced, used counts those
+// later referenced by a frame while still cached. Their ratio is the
+// prediction's precision — the diagnostic for tuning σ and the vicinal
+// radius.
+func (a *AppAware) PrefetchUtility() (issued, used int64) {
+	return a.prefetchsIssued, a.prefetchsUsed
+}
+
+// setStaleFilter restricts eviction at every cache level to blocks last used
+// before view point i.
+func (a *AppAware) setStaleFilter(i int) {
+	allowed := func(id grid.BlockID) bool { return a.lastUse[id] < i }
+	for l := 0; l < a.h.NumLevels(); l++ {
+		a.h.SetEvictFilter(l, allowed)
+	}
+}
+
+func (a *AppAware) clearFilter() {
+	for l := 0; l < a.h.NumLevels(); l++ {
+		a.h.SetEvictFilter(l, nil)
+	}
+}

@@ -1,0 +1,60 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/vec"
+	"repro/internal/volume"
+)
+
+func benchRenderer(b *testing.B) *Renderer {
+	b.Helper()
+	ds := volume.Ball().Scale(1.0 / 16)
+	g, err := ds.Grid(grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Renderer{DS: ds, G: g, TF: Grayscale, Steps: 64}
+}
+
+func BenchmarkRenderSmall(b *testing.B) {
+	rd := benchRenderer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Render(vec.New(0, 0, 3), vec.Radians(25), 64, 48)
+	}
+}
+
+func BenchmarkRenderLarge(b *testing.B) {
+	rd := benchRenderer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Render(vec.New(0, 0, 3), vec.Radians(25), 320, 240)
+	}
+}
+
+func BenchmarkTransferFuncs(b *testing.B) {
+	for _, tf := range []struct {
+		name string
+		f    TransferFunc
+	}{
+		{"grayscale", Grayscale},
+		{"hot", Hot},
+		{"coolwarm", CoolWarm},
+		{"iso", Isosurface(0.5, 0.1, Hot)},
+	} {
+		b.Run(tf.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tf.f(float64(i%100) / 100)
+			}
+		})
+	}
+}
+
+func BenchmarkCostModel(b *testing.B) {
+	m := DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		m.FrameTime(i % 1000)
+	}
+}

@@ -1,0 +1,116 @@
+// Package storage models the memory/storage devices of the paper's testbed
+// (16 GB DRAM, 512 GB SSD, 3 TB HDD) as latency + bandwidth cost models over
+// a virtual clock. The experiments measure simulated time, so runs are
+// deterministic and independent of the host machine.
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock counting simulated elapsed time. The zero value
+// is a clock at time zero. Clock is not safe for concurrent use; the
+// simulator is single-threaded over simulated time by construction.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative advances panic: simulated
+// time is monotone.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("storage: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// Reset rewinds the clock to zero for a fresh run.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Device is a storage or memory device cost model: a fixed per-operation
+// latency plus size-proportional transfer time.
+type Device struct {
+	Name      string
+	Latency   time.Duration // per read operation
+	Bandwidth float64       // bytes per second
+}
+
+// TransferTime returns the simulated time to read n bytes from the device.
+// Zero-byte reads still pay the operation latency.
+func (d Device) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: negative transfer size %d", n))
+	}
+	if d.Bandwidth <= 0 {
+		return d.Latency
+	}
+	return d.Latency + time.Duration(float64(n)/d.Bandwidth*float64(time.Second))
+}
+
+// TransferTimeBatched returns the simulated time to read n bytes as part of
+// a batch of `batch` reads issued together: the per-operation latency (seek,
+// setup) is amortized across the batch while the bandwidth term is
+// unchanged. Prefetchers issue blocks in large asynchronous elevator-order
+// batches, unlike demand misses, which are synchronous random reads paying
+// the full latency. batch < 1 is treated as 1.
+func (d Device) TransferTimeBatched(n int64, batch int) time.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("storage: negative transfer size %d", n))
+	}
+	lat := d.Latency / time.Duration(batch)
+	if d.Bandwidth <= 0 {
+		return lat
+	}
+	return lat + time.Duration(float64(n)/d.Bandwidth*float64(time.Second))
+}
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	return fmt.Sprintf("%s(lat=%v, bw=%.0fMB/s)", d.Name, d.Latency, d.Bandwidth/1e6)
+}
+
+// DRAM returns a main-memory device model (the paper's 16 GB DRAM level).
+func DRAM() Device {
+	return Device{Name: "DRAM", Latency: 100 * time.Nanosecond, Bandwidth: 10e9}
+}
+
+// SSD returns a solid-state drive model (the paper's 512 GB SSD level).
+func SSD() Device {
+	return Device{Name: "SSD", Latency: 80 * time.Microsecond, Bandwidth: 500e6}
+}
+
+// HDD returns a hard-disk model (the paper's 3 TB HDD backing store).
+func HDD() Device {
+	return Device{Name: "HDD", Latency: 8 * time.Millisecond, Bandwidth: 150e6}
+}
+
+// Counter accumulates read statistics for one device or cache level.
+type Counter struct {
+	Ops   int64
+	Bytes int64
+	Time  time.Duration
+}
+
+// Record adds one read of n bytes taking t.
+func (c *Counter) Record(n int64, t time.Duration) {
+	c.Ops++
+	c.Bytes += n
+	c.Time += t
+}
+
+// Add merges another counter into c.
+func (c *Counter) Add(o Counter) {
+	c.Ops += o.Ops
+	c.Bytes += o.Bytes
+	c.Time += o.Time
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+	"repro/internal/volume"
+)
+
+func benchFile(b *testing.B) (*BlockFile, *grid.Grid) {
+	b.Helper()
+	ds := volume.Ball().Scale(1.0 / 16) // 64³
+	g, err := ds.Grid(grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.bvol")
+	if err := Write(path, ds, g, 0); err != nil {
+		b.Fatal(err)
+	}
+	bf, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { bf.Close() })
+	return bf, g
+}
+
+func BenchmarkReadBlock(b *testing.B) {
+	bf, g := benchFile(b)
+	b.SetBytes(bf.BlockBytes(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bf.ReadBlock(grid.BlockID(i % g.NumBlocks())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemCacheHit(b *testing.B) {
+	bf, _ := benchFile(b)
+	c, err := NewMemCache(bf, 64*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Get(3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemCacheMissWithEviction(b *testing.B) {
+	bf, g := benchFile(b)
+	c, err := NewMemCache(bf, 8*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(grid.BlockID(i % g.NumBlocks())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

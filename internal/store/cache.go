@@ -1,0 +1,155 @@
+package store
+
+// MemCache is a byte-budgeted in-memory block cache over a BlockFile,
+// fronted by any replacement policy. It is the real-I/O counterpart of one
+// memhier level: instead of charging simulated time, it holds actual voxel
+// data and reads misses from disk.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+)
+
+// MemCache caches decoded blocks in memory. Safe for concurrent use.
+type MemCache struct {
+	bf       *BlockFile
+	capacity int64
+
+	mu     sync.Mutex
+	policy cache.Policy
+	data   map[grid.BlockID][]float32
+	used   int64
+
+	hits, misses int64
+}
+
+// NewMemCache wraps the block file with a cache of the given byte capacity
+// and replacement policy. The policy must be empty and is owned by the
+// cache afterwards.
+func NewMemCache(bf *BlockFile, capacity int64, p cache.Policy) (*MemCache, error) {
+	if bf == nil {
+		return nil, fmt.Errorf("store: nil block file")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("store: capacity %d", capacity)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("store: nil policy")
+	}
+	return &MemCache{
+		bf:       bf,
+		capacity: capacity,
+		policy:   p,
+		data:     make(map[grid.BlockID][]float32),
+	}, nil
+}
+
+// Get returns the block's voxels, reading from disk on a miss. The returned
+// slice is shared with the cache; callers must not modify it.
+func (c *MemCache) Get(id grid.BlockID) ([]float32, error) {
+	c.mu.Lock()
+	if vals, ok := c.data[id]; ok {
+		c.hits++
+		c.policy.Touch(id)
+		c.mu.Unlock()
+		return vals, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Read outside the lock so concurrent misses overlap their disk I/O.
+	vals, err := c.bf.ReadBlock(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.data[id]; ok {
+		// A concurrent reader already installed it; keep theirs.
+		return existing, nil
+	}
+	c.install(id, vals)
+	return vals, nil
+}
+
+// Contains reports whether the block is cached (without touching it).
+func (c *MemCache) Contains(id grid.BlockID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.data[id]
+	return ok
+}
+
+// Prefetch ensures the block is cached, reading it if needed; unlike Get it
+// does not return the data and never counts as a hit or miss.
+func (c *MemCache) Prefetch(id grid.BlockID) error {
+	c.mu.Lock()
+	if _, ok := c.data[id]; ok {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	vals, err := c.bf.ReadBlock(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.data[id]; !ok {
+		c.install(id, vals)
+	}
+	return nil
+}
+
+// install must be called with the lock held.
+func (c *MemCache) install(id grid.BlockID, vals []float32) {
+	size := int64(len(vals)) * 4
+	if size > c.capacity {
+		return // larger than the whole cache: serve uncached
+	}
+	for c.used+size > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			return
+		}
+		c.evict(victim)
+	}
+	c.data[id] = vals
+	c.used += size
+	c.policy.Insert(id)
+}
+
+func (c *MemCache) evict(id grid.BlockID) {
+	vals, ok := c.data[id]
+	if !ok {
+		c.policy.Remove(id)
+		return
+	}
+	delete(c.data, id)
+	c.used -= int64(len(vals)) * 4
+	c.policy.Remove(id)
+}
+
+// Stats returns hit and miss counts so far.
+func (c *MemCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Used returns the bytes currently cached.
+func (c *MemCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached blocks.
+func (c *MemCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.data)
+}

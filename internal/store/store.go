@@ -1,0 +1,195 @@
+// Package store provides real file-backed block storage: the on-disk layout
+// the simulator's cost models stand in for. A block file holds one
+// variable's voxels reordered so each block is contiguous (the layout
+// out-of-core visualization systems use so a block is one sequential read),
+// prefixed by a self-describing header.
+//
+// The simulator (package memhier) answers "how long would the hierarchy
+// take"; this package answers "read the actual bytes", so examples and the
+// out-of-core runtime (package ooc) can operate on genuine files written by
+// cmd/datagen or Write.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/volume"
+)
+
+// magic identifies block files; the version guards layout changes.
+const (
+	magic   = 0x62766f6c // "bvol"
+	version = 1
+)
+
+// headerSize is the fixed byte size of the file header.
+const headerSize = 4 * 10
+
+// Header describes a block file.
+type Header struct {
+	Res      grid.Dims // volume resolution in voxels
+	Block    grid.Dims // nominal block extent in voxels
+	Variable int32     // which dataset variable the file holds
+	Blocks   int32     // total block count (redundant, for validation)
+}
+
+// BlockFile reads blocks from a block-layout file.
+type BlockFile struct {
+	f       *os.File
+	hdr     Header
+	g       *grid.Grid
+	offsets []int64 // byte offset of each block's data
+}
+
+// Write materializes one variable of a dataset to path in block layout.
+// Blocks are written in BlockID order, each as little-endian float32 voxels
+// in x-fastest order within the block. Writing streams block by block, so
+// paper-size volumes need only one block of memory.
+func Write(path string, ds *volume.Dataset, g *grid.Grid, variable int) error {
+	if variable < 0 || variable >= ds.Variables {
+		return fmt.Errorf("store: variable %d out of [0,%d)", variable, ds.Variables)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	hdr := Header{
+		Res:      g.Res(),
+		Block:    g.BlockSize(),
+		Variable: int32(variable),
+		Blocks:   int32(g.NumBlocks()),
+	}
+	if err := writeHeader(w, hdr); err != nil {
+		f.Close()
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, id := range g.All() {
+		vals := ds.BlockSamples(g, id, variable, 0)
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := w.Write(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeader(w io.Writer, h Header) error {
+	fields := []int32{
+		magic, version,
+		int32(h.Res.X), int32(h.Res.Y), int32(h.Res.Z),
+		int32(h.Block.X), int32(h.Block.Y), int32(h.Block.Z),
+		h.Variable, h.Blocks,
+	}
+	for _, v := range fields {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open opens a block file for random-access block reads.
+func Open(path string) (*BlockFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw [headerSize]byte
+	if _, err := io.ReadFull(f, raw[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: short header: %v", err)
+	}
+	get := func(i int) int32 {
+		return int32(binary.LittleEndian.Uint32(raw[4*i : 4*i+4]))
+	}
+	if get(0) != magic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a block file", path)
+	}
+	if get(1) != version {
+		f.Close()
+		return nil, fmt.Errorf("store: unsupported version %d", get(1))
+	}
+	hdr := Header{
+		Res:      grid.Dims{X: int(get(2)), Y: int(get(3)), Z: int(get(4))},
+		Block:    grid.Dims{X: int(get(5)), Y: int(get(6)), Z: int(get(7))},
+		Variable: get(8),
+		Blocks:   get(9),
+	}
+	g, err := grid.New(hdr.Res, hdr.Block)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: bad geometry: %v", err)
+	}
+	if g.NumBlocks() != int(hdr.Blocks) {
+		f.Close()
+		return nil, fmt.Errorf("store: header claims %d blocks, geometry gives %d",
+			hdr.Blocks, g.NumBlocks())
+	}
+	bf := &BlockFile{f: f, hdr: hdr, g: g}
+	bf.offsets = make([]int64, g.NumBlocks()+1)
+	off := int64(headerSize)
+	for _, id := range g.All() {
+		bf.offsets[id] = off
+		off += g.VoxelCount(id) * 4
+	}
+	bf.offsets[g.NumBlocks()] = off
+	// Validate the file is at least as large as the layout requires.
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < off {
+		f.Close()
+		return nil, fmt.Errorf("store: file truncated: %d bytes, need %d", st.Size(), off)
+	}
+	return bf, nil
+}
+
+// Header returns the file's header.
+func (bf *BlockFile) Header() Header { return bf.hdr }
+
+// Grid returns the block grid the file is laid out with.
+func (bf *BlockFile) Grid() *grid.Grid { return bf.g }
+
+// BlockBytes returns the byte size of a block's data.
+func (bf *BlockFile) BlockBytes(id grid.BlockID) int64 {
+	return bf.offsets[int(id)+1] - bf.offsets[id]
+}
+
+// ReadBlock reads one block's voxels. The returned slice is freshly
+// allocated and owned by the caller. Safe for concurrent use (ReadAt).
+func (bf *BlockFile) ReadBlock(id grid.BlockID) ([]float32, error) {
+	if int(id) < 0 || int(id) >= bf.g.NumBlocks() {
+		return nil, fmt.Errorf("store: block %d out of range", id)
+	}
+	n := bf.BlockBytes(id)
+	raw := make([]byte, n)
+	if _, err := bf.f.ReadAt(raw, bf.offsets[id]); err != nil {
+		return nil, fmt.Errorf("store: block %d: %v", id, err)
+	}
+	vals := make([]float32, n/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return vals, nil
+}
+
+// Close closes the underlying file.
+func (bf *BlockFile) Close() error { return bf.f.Close() }

@@ -1,0 +1,276 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+	"repro/internal/volume"
+)
+
+func writeTestFile(t *testing.T) (string, *volume.Dataset, *grid.Grid) {
+	t.Helper()
+	ds := volume.Ball().Scale(1.0 / 32) // 32³
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ball.bvol")
+	if err := Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	return path, ds, g
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	path, ds, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	hdr := bf.Header()
+	if hdr.Res != g.Res() || hdr.Block != g.BlockSize() {
+		t.Errorf("header = %+v", hdr)
+	}
+	if bf.Grid().NumBlocks() != g.NumBlocks() {
+		t.Errorf("blocks = %d", bf.Grid().NumBlocks())
+	}
+	// Every block's data must match the dataset's direct samples.
+	for _, id := range g.All() {
+		got, err := bf.ReadBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ds.BlockSamples(g, id, 0, 0)
+		if len(got) != len(want) {
+			t.Fatalf("block %d: %d vs %d values", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d differs at %d: %g vs %g", id, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriteRejectsBadVariable(t *testing.T) {
+	ds := volume.Ball().Scale(1.0 / 32)
+	g, _ := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err := Write(filepath.Join(t.TempDir(), "x"), ds, g, 5); err == nil {
+		t.Error("bad variable accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a block file at all........................"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.bvol")
+	if err := os.WriteFile(trunc, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestReadBlockOutOfRange(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	if _, err := bf.ReadBlock(grid.BlockID(g.NumBlocks())); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if _, err := bf.ReadBlock(-1); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestBlockBytesPartialBlocks(t *testing.T) {
+	// A non-divisible resolution produces clipped edge blocks whose file
+	// footprint must match their voxel counts.
+	ds := volume.LiftedMixFrac().Scale(0.05) // 40x34x16 (clamped)
+	g, err := ds.GridWithBlockCount(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.bvol")
+	if err := Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	for _, id := range g.All() {
+		if got, want := bf.BlockBytes(id), g.VoxelCount(id)*4; got != want {
+			t.Fatalf("block %d: %d bytes, want %d", id, got, want)
+		}
+		vals, err := bf.ReadBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(vals)) != g.VoxelCount(id) {
+			t.Fatalf("block %d: %d values", id, len(vals))
+		}
+	}
+}
+
+func TestMemCacheHitMiss(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	blockBytes := bf.BlockBytes(0)
+	c, err := NewMemCache(bf, 4*blockBytes, cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+	if !c.Contains(1) {
+		t.Error("block 1 not cached")
+	}
+}
+
+func TestMemCacheEviction(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	blockBytes := bf.BlockBytes(0)
+	c, _ := NewMemCache(bf, 3*blockBytes, cache.NewLRU())
+	for id := grid.BlockID(0); id < 6; id++ {
+		if _, err := c.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+	if c.Used() > 3*blockBytes {
+		t.Errorf("Used = %d over capacity", c.Used())
+	}
+	// LRU order: 3, 4, 5 remain.
+	for id := grid.BlockID(3); id < 6; id++ {
+		if !c.Contains(id) {
+			t.Errorf("recent block %d evicted", id)
+		}
+	}
+}
+
+func TestMemCachePrefetch(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	c, _ := NewMemCache(bf, 16*bf.BlockBytes(0), cache.NewLRU())
+	if err := c.Prefetch(2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(2) {
+		t.Error("prefetched block absent")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Error("prefetch perturbed stats")
+	}
+	// Subsequent Get hits.
+	if _, err := c.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c.Stats(); h != 1 {
+		t.Error("post-prefetch Get not a hit")
+	}
+}
+
+func TestMemCacheValidation(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	if _, err := NewMemCache(nil, 100, cache.NewLRU()); err == nil {
+		t.Error("nil file accepted")
+	}
+	if _, err := NewMemCache(bf, 0, cache.NewLRU()); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewMemCache(bf, 100, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestMemCacheConcurrentAccess(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	c, _ := NewMemCache(bf, 8*bf.BlockBytes(0), cache.NewLRU())
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := grid.BlockID((seed*7 + i*13) % g.NumBlocks())
+				if _, err := c.Get(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.Used() > 8*bf.BlockBytes(0) {
+		t.Errorf("capacity violated under concurrency: %d", c.Used())
+	}
+}
+
+func TestMemCacheOversizedBlockUncached(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	// Capacity below one block: every Get succeeds but nothing caches.
+	c, _ := NewMemCache(bf, bf.BlockBytes(0)-1, cache.NewLRU())
+	if _, err := c.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Error("oversized block cached")
+	}
+}

@@ -1,0 +1,87 @@
+package visibility
+
+import (
+	"testing"
+
+	"repro/internal/camera"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/vec"
+)
+
+func benchGrid(b *testing.B, blocks int) *grid.Grid {
+	b.Helper()
+	g, err := grid.New(grid.Dims{X: 256, Y: 256, Z: 256}, grid.DivisionsFor(grid.Dims{X: 256, Y: 256, Z: 256}, blocks))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBlockVisible(b *testing.B) {
+	g := benchGrid(b, 2048)
+	pos := vec.New(0.5, 0.5, 3)
+	theta := vec.Radians(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BlockVisible(pos, theta, g, grid.BlockID(i%g.NumBlocks()))
+	}
+}
+
+func BenchmarkVisibleSet2048(b *testing.B) {
+	g := benchGrid(b, 2048)
+	cam := camera.Camera{Pos: vec.New(0.5, 0.5, 3), ViewAngle: vec.Radians(10)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VisibleSet(g, cam)
+	}
+}
+
+func BenchmarkVisibleSet16384(b *testing.B) {
+	g := benchGrid(b, 16384)
+	cam := camera.Camera{Pos: vec.New(0.5, 0.5, 3), ViewAngle: vec.Radians(10)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VisibleSet(g, cam)
+	}
+}
+
+func BenchmarkDilatedVisibleSet(b *testing.B) {
+	g := benchGrid(b, 2048)
+	pos := vec.New(0.5, 0.5, 3)
+	theta := vec.Radians(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DilatedVisibleSet(g, pos, theta, 0.3)
+	}
+}
+
+func BenchmarkVicinalUnionJitter(b *testing.B) {
+	g := benchGrid(b, 2048)
+	pos := vec.New(0.5, 0.5, 3)
+	theta := vec.Radians(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VicinalUnion(g, pos, theta, 0.3, 8)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	g := benchGrid(b, 2048)
+	tab, err := NewTable(g, Options{
+		NAzimuth: 72, NElevation: 36, NDistance: 10,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(10),
+		Radius:    radius.Fixed(0.2),
+		Lazy:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := vec.New(1.2, -0.4, 2.7)
+	tab.Predict(pos) // materialize once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Predict(pos)
+	}
+}

@@ -1,0 +1,134 @@
+package visibility
+
+// T_visible persistence: the table is computed once as pre-processing
+// (§IV-B) — "this table is only computed once... it is independent to
+// specific datasets and only depends on the views and the total block
+// numbers of a volume" — so sessions save it and reload it without paying
+// the sampling cost again. Saving materializes every key; loaded tables are
+// fully materialized and need no radius strategy.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/grid"
+)
+
+const (
+	persistMagic   = 0x74766973 // "tvis"
+	persistVersion = 1
+)
+
+// Save materializes all keys and serializes the table.
+func (t *Table) Save(w io.Writer) error {
+	t.MaterializeAll()
+	bw := bufio.NewWriter(w)
+	head := []uint32{
+		persistMagic, persistVersion,
+		uint32(t.opts.NAzimuth), uint32(t.opts.NElevation), uint32(t.opts.NDistance),
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, f := range []float64{t.opts.RMin, t.opts.RMax, t.opts.ViewAngle} {
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(f)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(t.opts.QueryCostPerKey)); err != nil {
+		return err
+	}
+	for i := range t.sets {
+		set := t.PredictedSet(i)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(set))); err != nil {
+			return err
+		}
+		for _, id := range set {
+			if err := binary.Write(bw, binary.LittleEndian, int32(id)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// frozenRadius is the placeholder strategy of loaded tables: every set is
+// already materialized, so it must never be consulted.
+type frozenRadius struct{}
+
+func (frozenRadius) Radius(_, _ float64) float64 { return 0 }
+func (frozenRadius) Name() string                { return "frozen(loaded-table)" }
+
+// Load reads a table written by Save. The grid must match the one the table
+// was built over (validated against its block count).
+func Load(r io.Reader, g *grid.Grid) (*Table, error) {
+	br := bufio.NewReader(r)
+	var head [5]uint32
+	for i := range head {
+		if err := binary.Read(br, binary.LittleEndian, &head[i]); err != nil {
+			return nil, fmt.Errorf("visibility: short header: %v", err)
+		}
+	}
+	if head[0] != persistMagic {
+		return nil, fmt.Errorf("visibility: not a T_visible file")
+	}
+	if head[1] != persistVersion {
+		return nil, fmt.Errorf("visibility: unsupported version %d", head[1])
+	}
+	opts := Options{
+		NAzimuth:   int(head[2]),
+		NElevation: int(head[3]),
+		NDistance:  int(head[4]),
+		Radius:     frozenRadius{},
+		Lazy:       true,
+	}
+	var floats [3]float64
+	for i := range floats {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("visibility: short header: %v", err)
+		}
+		floats[i] = math.Float64frombits(bits)
+	}
+	opts.RMin, opts.RMax, opts.ViewAngle = floats[0], floats[1], floats[2]
+	var qc int64
+	if err := binary.Read(br, binary.LittleEndian, &qc); err != nil {
+		return nil, fmt.Errorf("visibility: short header: %v", err)
+	}
+	opts.QueryCostPerKey = time.Duration(qc)
+
+	t, err := NewTable(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks := g.NumBlocks()
+	for i := range t.sets {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("visibility: truncated at key %d: %v", i, err)
+		}
+		if int(n) > nBlocks {
+			return nil, fmt.Errorf("visibility: key %d claims %d blocks, grid has %d", i, n, nBlocks)
+		}
+		set := make([]grid.BlockID, n)
+		for j := range set {
+			var id int32
+			if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+				return nil, fmt.Errorf("visibility: truncated at key %d: %v", i, err)
+			}
+			if id < 0 || int(id) >= nBlocks {
+				return nil, fmt.Errorf("visibility: key %d: block %d out of range", i, id)
+			}
+			set[j] = grid.BlockID(id)
+		}
+		t.sets[i] = set
+		t.done[i] = true
+	}
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package visibility
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	g, tab := newTestTable(t, tableOpts())
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumKeys() != tab.NumKeys() {
+		t.Fatalf("keys = %d, want %d", back.NumKeys(), tab.NumKeys())
+	}
+	if back.MaterializedKeys() != back.NumKeys() {
+		t.Error("loaded table not fully materialized")
+	}
+	for i := 0; i < tab.NumKeys(); i++ {
+		a, b := tab.PredictedSet(i), back.PredictedSet(i)
+		if len(a) != len(b) {
+			t.Fatalf("key %d: %d vs %d blocks", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %d differs at %d", i, j)
+			}
+		}
+	}
+	// Geometry and lookup behavior survive.
+	if back.QueryCost() != tab.QueryCost() {
+		t.Errorf("query cost %v != %v", back.QueryCost(), tab.QueryCost())
+	}
+	pos := tab.KeyPos(7)
+	if back.NearestKey(pos) != tab.NearestKey(pos) {
+		t.Error("nearest-key lookup differs after reload")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	g, _ := grid.New(grid.Dims{X: 32, Y: 32, Z: 32}, grid.Dims{X: 16, Y: 16, Z: 16})
+	if _, err := Load(strings.NewReader("garbage data here............."), g); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(""), g); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	g, tab := newTestTable(t, tableOpts())
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/2]), g); err == nil {
+		t.Error("truncated table accepted")
+	}
+}
+
+func TestLoadRejectsMismatchedGrid(t *testing.T) {
+	g, tab := newTestTable(t, tableOpts())
+	_ = g
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A grid with fewer blocks than the stored IDs reference must fail.
+	tiny, err := grid.New(grid.Dims{X: 16, Y: 16, Z: 16}, grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), tiny); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}

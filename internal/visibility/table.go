@@ -1,0 +1,288 @@
+package visibility
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/vec"
+)
+
+// Options configures T_visible construction.
+type Options struct {
+	// NAzimuth, NElevation, NDistance define the Ω sampling lattice: keys
+	// are placed at every (azimuth, elevation, distance) combination, so
+	// the total sampling-position count is the product.
+	NAzimuth, NElevation, NDistance int
+	// RMin, RMax bound the camera distance range of Ω. RMin must exceed the
+	// volume's enclosing radius for cameras to stay outside the data.
+	RMin, RMax float64
+	// ViewAngle is the full frustum angle θ, radians.
+	ViewAngle float64
+	// Radius picks the vicinal radius r per sampling position (§V-B2).
+	Radius radius.Strategy
+	// VicinalSamples > 0 computes the vicinal union exactly from that many
+	// jitter points (faithful to §IV-B but expensive); 0 uses the analytic
+	// cone-dilation approximation.
+	VicinalSamples int
+	// Lazy defers per-key visible-set computation until first lookup.
+	// Contents are identical either way; lazy mode keeps huge tables
+	// (Fig. 7 sweeps up to 108,000 keys) affordable when a path only
+	// visits a few hundred keys.
+	Lazy bool
+	// QueryCostPerKey models the per-entry cost of searching the lookup
+	// table; the total per-query charge is QueryCostPerKey × NumKeys. This
+	// is the overhead that makes over-dense sampling lose in Fig. 7(b).
+	// Default 25ns.
+	QueryCostPerKey time.Duration
+	// Clamp, when set, keeps only the most important blocks of each key's
+	// set (§IV-C: over-predicted sets are reduced by entropy rank).
+	Clamp *Clamp
+}
+
+// Clamp bounds per-key set sizes by importance.
+type Clamp struct {
+	// Importance ranks blocks; must cover the table's grid.
+	Importance *entropy.Table
+	// MaxBlocks is the per-key cap (≤ 0 disables clamping).
+	MaxBlocks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueryCostPerKey == 0 {
+		o.QueryCostPerKey = 25 * time.Nanosecond
+	}
+	return o
+}
+
+// Table is the paper's T_visible: sampling camera positions in Ω keyed by
+// <view direction l, distance d>, each mapped to the set of blocks visible
+// from its vicinal area φ. Lookup finds the nearest sampled position.
+type Table struct {
+	g    *grid.Grid
+	opts Options
+
+	mu   sync.Mutex
+	sets [][]grid.BlockID // indexed by key; nil when not yet materialized
+	done []bool
+}
+
+// NewTable validates options and returns a T_visible for the grid. With
+// Lazy unset, every key's visible set is materialized in parallel now.
+func NewTable(g *grid.Grid, opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	if opts.NAzimuth < 1 || opts.NElevation < 1 || opts.NDistance < 1 {
+		return nil, fmt.Errorf("visibility: lattice %dx%dx%d must be positive",
+			opts.NAzimuth, opts.NElevation, opts.NDistance)
+	}
+	if opts.RMin <= 0 || opts.RMax < opts.RMin {
+		return nil, fmt.Errorf("visibility: bad distance range [%g, %g]", opts.RMin, opts.RMax)
+	}
+	if opts.ViewAngle <= 0 || opts.ViewAngle >= math.Pi {
+		return nil, fmt.Errorf("visibility: view angle %g out of (0, π)", opts.ViewAngle)
+	}
+	if opts.Radius == nil {
+		return nil, fmt.Errorf("visibility: nil radius strategy")
+	}
+	n := opts.NAzimuth * opts.NElevation * opts.NDistance
+	t := &Table{
+		g:    g,
+		opts: opts,
+		sets: make([][]grid.BlockID, n),
+		done: make([]bool, n),
+	}
+	if !opts.Lazy {
+		t.MaterializeAll()
+	}
+	return t, nil
+}
+
+// NumKeys returns the total number of sampling positions.
+func (t *Table) NumKeys() int { return len(t.sets) }
+
+// Grid returns the block grid the table was built over.
+func (t *Table) Grid() *grid.Grid { return t.g }
+
+// KeyPos returns the world-space camera position of key i.
+func (t *Table) KeyPos(i int) vec.V3 {
+	az, el, dist := t.keyCoords(i)
+	return vec.FromSpherical(vec.Spherical{
+		Azimuth:   2 * math.Pi * (float64(az) + 0.5) / float64(t.opts.NAzimuth),
+		Elevation: -math.Pi/2 + math.Pi*(float64(el)+0.5)/float64(t.opts.NElevation),
+		R:         t.distAt(dist),
+	})
+}
+
+func (t *Table) distAt(k int) float64 {
+	if t.opts.NDistance == 1 {
+		return (t.opts.RMin + t.opts.RMax) / 2
+	}
+	return t.opts.RMin + (t.opts.RMax-t.opts.RMin)*(float64(k)+0.5)/float64(t.opts.NDistance)
+}
+
+func (t *Table) keyCoords(i int) (az, el, dist int) {
+	az = i % t.opts.NAzimuth
+	i /= t.opts.NAzimuth
+	el = i % t.opts.NElevation
+	dist = i / t.opts.NElevation
+	return az, el, dist
+}
+
+func (t *Table) keyIndex(az, el, dist int) int {
+	return az + t.opts.NAzimuth*(el+t.opts.NElevation*dist)
+}
+
+// NearestKey returns the index of the sampling position closest to pos in
+// the <direction, distance> lattice. The lattice structure makes this O(1):
+// the paper's linear-scan lookup cost is *charged* via QueryCost instead of
+// being paid in wall-clock time.
+func (t *Table) NearestKey(pos vec.V3) int {
+	s := vec.ToSpherical(pos)
+	az := int(s.Azimuth / (2 * math.Pi) * float64(t.opts.NAzimuth))
+	az = ((az % t.opts.NAzimuth) + t.opts.NAzimuth) % t.opts.NAzimuth
+	el := int((s.Elevation + math.Pi/2) / math.Pi * float64(t.opts.NElevation))
+	el = clampInt(el, 0, t.opts.NElevation-1)
+	var dist int
+	if t.opts.NDistance > 1 {
+		dist = int((s.R - t.opts.RMin) / (t.opts.RMax - t.opts.RMin) * float64(t.opts.NDistance))
+		dist = clampInt(dist, 0, t.opts.NDistance-1)
+	}
+	return t.keyIndex(az, el, dist)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// QueryCost returns the simulated time of one table lookup under the linear
+// scan cost model: per-entry cost × table size. Fig. 7(b)'s I/O-time minimum
+// at an intermediate sampling density comes from this term.
+func (t *Table) QueryCost() time.Duration {
+	return time.Duration(len(t.sets)) * t.opts.QueryCostPerKey
+}
+
+// PredictedSet returns the visible-block set S_v of key i, computing and
+// memoizing it on first use in lazy mode. The returned slice is shared;
+// callers must not modify it.
+func (t *Table) PredictedSet(i int) []grid.BlockID {
+	t.mu.Lock()
+	if t.done[i] {
+		s := t.sets[i]
+		t.mu.Unlock()
+		return s
+	}
+	t.mu.Unlock()
+	s := t.computeSet(i)
+	t.mu.Lock()
+	if !t.done[i] {
+		t.sets[i] = s
+		t.done[i] = true
+	}
+	s = t.sets[i]
+	t.mu.Unlock()
+	return s
+}
+
+// Predict returns the predicted visible set for an arbitrary camera
+// position: the set of its nearest sampling position.
+func (t *Table) Predict(pos vec.V3) []grid.BlockID {
+	return t.PredictedSet(t.NearestKey(pos))
+}
+
+// computeSet builds the vicinal-union visible set of key i and applies the
+// importance clamp.
+func (t *Table) computeSet(i int) []grid.BlockID {
+	pos := t.KeyPos(i)
+	r := t.opts.Radius.Radius(t.opts.ViewAngle, pos.Norm())
+	var set []grid.BlockID
+	if t.opts.VicinalSamples > 0 {
+		set = VicinalUnion(t.g, pos, t.opts.ViewAngle, r, t.opts.VicinalSamples)
+	} else {
+		set = DilatedVisibleSet(t.g, pos, t.opts.ViewAngle, r)
+	}
+	if c := t.opts.Clamp; c != nil && c.MaxBlocks > 0 && len(set) > c.MaxBlocks {
+		byImportance := append([]grid.BlockID(nil), set...)
+		sort.SliceStable(byImportance, func(a, b int) bool {
+			sa, sb := c.Importance.Score(byImportance[a]), c.Importance.Score(byImportance[b])
+			if sa != sb {
+				return sa > sb
+			}
+			return byImportance[a] < byImportance[b]
+		})
+		byImportance = byImportance[:c.MaxBlocks]
+		sort.Slice(byImportance, func(a, b int) bool { return byImportance[a] < byImportance[b] })
+		set = byImportance
+	}
+	return set
+}
+
+// MaterializeAll computes every key's set in parallel. It is idempotent.
+func (t *Table) MaterializeAll() {
+	n := len(t.sets)
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t.PredictedSet(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// MaterializedKeys reports how many keys have computed sets (all of them
+// after MaterializeAll; only the visited ones in lazy mode).
+func (t *Table) MaterializedKeys() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, d := range t.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// LatticeForTotal returns lattice dimensions (nAz, nEl, nDist) whose product
+// approximates the requested total sampling-position count, holding the
+// distance-ring count fixed and keeping azimuth ≈ 2× elevation (matching the
+// 2:1 span ratio of the angular domain).
+func LatticeForTotal(total, nDist int) (nAz, nEl, nDistOut int) {
+	if nDist < 1 {
+		nDist = 1
+	}
+	if total < nDist*2 {
+		total = nDist * 2
+	}
+	perRing := float64(total) / float64(nDist)
+	nEl = int(math.Round(math.Sqrt(perRing / 2)))
+	if nEl < 1 {
+		nEl = 1
+	}
+	nAz = int(math.Round(perRing / float64(nEl)))
+	if nAz < 1 {
+		nAz = 1
+	}
+	return nAz, nEl, nDist
+}

@@ -1,0 +1,78 @@
+package volume
+
+// This file is the executable form of the paper's Table I: the four
+// experimental datasets with their exact resolutions, variable counts, and
+// sizes. Real simulation outputs are substituted with analytic fields (see
+// DESIGN.md §2); resolutions and variable counts are the paper's.
+
+import (
+	"repro/internal/field"
+	"repro/internal/grid"
+)
+
+// Ball returns the synthetic 3d_ball dataset: 1024³, 1 variable, 4 GB.
+func Ball() *Dataset {
+	return &Dataset{
+		Name:        "3d_ball",
+		Description: "a synthetic dataset",
+		Res:         dims(1024, 1024, 1024),
+		Variables:   1,
+		ValueSize:   4,
+		Field:       field.Ball{},
+	}
+}
+
+// LiftedMixFrac returns the combustion dataset lifted_mix_frac:
+// 800×686×215, 1 variable, 472 MB.
+func LiftedMixFrac() *Dataset {
+	return &Dataset{
+		Name:        "lifted_mix_frac",
+		Description: "a combustion simulation dataset",
+		Res:         dims(800, 686, 215),
+		Variables:   1,
+		ValueSize:   4,
+		Field:       field.NewCombustion("lifted_mix_frac", 0x1f7a),
+	}
+}
+
+// LiftedRR returns the combustion dataset lifted_rr: 800×800×400,
+// 1 variable, 1 GB.
+func LiftedRR() *Dataset {
+	return &Dataset{
+		Name:        "lifted_rr",
+		Description: "a combustion simulation dataset",
+		Res:         dims(800, 800, 400),
+		Variables:   1,
+		ValueSize:   4,
+		Field:       field.NewCombustion("lifted_rr", 0x2c41),
+	}
+}
+
+// Climate returns the climate dataset: 294×258×98, 244 variables, 7.2 GB.
+func Climate() *Dataset {
+	return &Dataset{
+		Name:        "climate",
+		Description: "a climate simulation dataset",
+		Res:         dims(294, 258, 98),
+		Variables:   244,
+		ValueSize:   4,
+		Field:       field.NewClimate(244, 0x77aa),
+	}
+}
+
+// Catalog returns all four Table I datasets in paper order.
+func Catalog() []*Dataset {
+	return []*Dataset{Ball(), LiftedMixFrac(), LiftedRR(), Climate()}
+}
+
+// ByName returns the catalog dataset with the given name, or nil.
+func ByName(name string) *Dataset {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+func dims(x, y, z int) grid.Dims { return grid.Dims{X: x, Y: y, Z: z} }

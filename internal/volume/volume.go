@@ -1,0 +1,133 @@
+// Package volume describes the datasets of the paper's Table I and extracts
+// block values from their (synthetic stand-in) fields on demand. A Dataset
+// is a lightweight descriptor — no voxel storage — so full-size volumes can
+// be processed block-by-block in bounded memory.
+package volume
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/vec"
+)
+
+// Dataset describes one volumetric dataset: its resolution, variable count,
+// value size, and the analytic field that generates its values.
+type Dataset struct {
+	Name        string
+	Description string
+	Res         grid.Dims
+	Variables   int
+	ValueSize   int // bytes per value; Table I datasets use 4-byte floats
+	Field       field.Field
+}
+
+// TotalBytes returns the full storage footprint of the dataset.
+func (d *Dataset) TotalBytes() int64 {
+	return d.Res.Count() * int64(d.Variables) * int64(d.ValueSize)
+}
+
+// Grid partitions the dataset into blocks of the given size.
+func (d *Dataset) Grid(block grid.Dims) (*grid.Grid, error) {
+	return grid.New(d.Res, block)
+}
+
+// GridWithBlockCount partitions the dataset into approximately n blocks (see
+// grid.DivisionsFor).
+func (d *Dataset) GridWithBlockCount(n int) (*grid.Grid, error) {
+	return grid.New(d.Res, grid.DivisionsFor(d.Res, n))
+}
+
+// Scale returns a copy of the dataset with every axis scaled by f (clamped
+// so no axis drops below 16 voxels). Experiments use this to run the paper's
+// full-size configurations at laptop scale while preserving aspect ratios,
+// block-count structure, and entropy distribution.
+func (d *Dataset) Scale(f float64) *Dataset {
+	if f <= 0 || f == 1 {
+		cp := *d
+		return &cp
+	}
+	scaleAxis := func(n int) int {
+		s := int(float64(n) * f)
+		if s < 16 {
+			s = 16
+		}
+		if s > n {
+			s = n
+		}
+		return s
+	}
+	cp := *d
+	cp.Res = grid.Dims{
+		X: scaleAxis(d.Res.X),
+		Y: scaleAxis(d.Res.Y),
+		Z: scaleAxis(d.Res.Z),
+	}
+	return &cp
+}
+
+// WithVariables returns a copy limited to at most n variables (n ≥ 1). It is
+// used to run the 244-variable climate configuration with a reduced variable
+// count at laptop scale.
+func (d *Dataset) WithVariables(n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	if n > d.Variables {
+		n = d.Variables
+	}
+	cp := *d
+	cp.Variables = n
+	return &cp
+}
+
+// BlockSamples returns values of one variable sampled inside a block at
+// voxel centers. maxPerAxis > 0 limits samples per axis (strided), bounding
+// the cost of entropy estimation on huge blocks; 0 samples every voxel.
+// The result length is the product of the per-axis sample counts.
+func (d *Dataset) BlockSamples(g *grid.Grid, id grid.BlockID, variable, maxPerAxis int) []float32 {
+	if variable < 0 || variable >= d.Variables {
+		panic(fmt.Sprintf("volume: variable %d out of [0,%d)", variable, d.Variables))
+	}
+	lo, hi := g.VoxelBounds(id)
+	nx, ny, nz := hi.X-lo.X, hi.Y-lo.Y, hi.Z-lo.Z
+	sx, cx := strideFor(nx, maxPerAxis)
+	sy, cy := strideFor(ny, maxPerAxis)
+	sz, cz := strideFor(nz, maxPerAxis)
+	out := make([]float32, 0, cx*cy*cz)
+	res := d.Res
+	for iz := 0; iz < cz; iz++ {
+		z := (float64(lo.Z+iz*sz) + 0.5) / float64(res.Z)
+		for iy := 0; iy < cy; iy++ {
+			y := (float64(lo.Y+iy*sy) + 0.5) / float64(res.Y)
+			for ix := 0; ix < cx; ix++ {
+				x := (float64(lo.X+ix*sx) + 0.5) / float64(res.X)
+				out = append(out, float32(d.Field.Sample(variable, x, y, z)))
+			}
+		}
+	}
+	return out
+}
+
+// strideFor returns the stride and sample count that cover n voxels with at
+// most max samples (max <= 0 means sample all).
+func strideFor(n, max int) (stride, count int) {
+	if max <= 0 || n <= max {
+		return 1, n
+	}
+	stride = (n + max - 1) / max
+	count = (n + stride - 1) / stride
+	return stride, count
+}
+
+// SampleWorld evaluates one variable at a world-space point using the
+// dataset's grid embedding. Points outside the volume return 0.
+func (d *Dataset) SampleWorld(g *grid.Grid, variable int, p vec.V3) float64 {
+	x, y, z := g.WorldToVoxel(p)
+	res := d.Res
+	if x < 0 || y < 0 || z < 0 || x >= float64(res.X) || y >= float64(res.Y) || z >= float64(res.Z) {
+		return 0
+	}
+	return d.Field.Sample(variable, x/float64(res.X), y/float64(res.Y), z/float64(res.Z))
+}

@@ -1,0 +1,224 @@
+package volume
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/grid"
+	"repro/internal/vec"
+)
+
+func TestTableISizes(t *testing.T) {
+	// Table I: name, resolution, #variables, size.
+	cases := []struct {
+		ds    *Dataset
+		res   grid.Dims
+		vars  int
+		minGB float64
+		maxGB float64
+	}{
+		{Ball(), grid.Dims{X: 1024, Y: 1024, Z: 1024}, 1, 3.9, 4.1},         // 4GB
+		{LiftedMixFrac(), grid.Dims{X: 800, Y: 686, Z: 215}, 1, 0.42, 0.47}, // 472MB
+		{LiftedRR(), grid.Dims{X: 800, Y: 800, Z: 400}, 1, 0.95, 1.0},       // 1GB
+		{Climate(), grid.Dims{X: 294, Y: 258, Z: 98}, 244, 6.7, 7.3},        // 7.2GB
+	}
+	for _, c := range cases {
+		if c.ds.Res != c.res {
+			t.Errorf("%s: res %v, want %v", c.ds.Name, c.ds.Res, c.res)
+		}
+		if c.ds.Variables != c.vars {
+			t.Errorf("%s: vars %d, want %d", c.ds.Name, c.ds.Variables, c.vars)
+		}
+		gb := float64(c.ds.TotalBytes()) / (1 << 30)
+		if gb < c.minGB || gb > c.maxGB {
+			t.Errorf("%s: size %.2f GB, want in [%.2f, %.2f]", c.ds.Name, gb, c.minGB, c.maxGB)
+		}
+	}
+}
+
+func TestCatalogAndByName(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("Catalog has %d entries, want 4", len(cat))
+	}
+	for _, d := range cat {
+		got := ByName(d.Name)
+		if got == nil || got.Name != d.Name {
+			t.Errorf("ByName(%q) = %v", d.Name, got)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := Ball().Scale(0.25)
+	if d.Res != (grid.Dims{X: 256, Y: 256, Z: 256}) {
+		t.Errorf("scaled res = %v", d.Res)
+	}
+	// Scaling never grows and never drops below 16.
+	small := Climate().Scale(0.01)
+	if small.Res.Z < 16 {
+		t.Errorf("scaled Z = %d, want >= 16", small.Res.Z)
+	}
+	// Scale(1) and Scale(0) are identity copies.
+	if got := Ball().Scale(1).Res; got != Ball().Res {
+		t.Errorf("Scale(1) changed res to %v", got)
+	}
+	if got := Ball().Scale(0).Res; got != Ball().Res {
+		t.Errorf("Scale(0) changed res to %v", got)
+	}
+	// Original is not mutated.
+	orig := Ball()
+	orig.Scale(0.5)
+	if orig.Res.X != 1024 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestWithVariables(t *testing.T) {
+	d := Climate().WithVariables(8)
+	if d.Variables != 8 {
+		t.Errorf("WithVariables(8) = %d", d.Variables)
+	}
+	if got := Climate().WithVariables(1000).Variables; got != 244 {
+		t.Errorf("WithVariables clamps to dataset max, got %d", got)
+	}
+	if got := Climate().WithVariables(0).Variables; got != 1 {
+		t.Errorf("WithVariables(0) = %d, want 1", got)
+	}
+}
+
+func TestBlockSamplesFullResolution(t *testing.T) {
+	d := &Dataset{
+		Name: "t", Res: grid.Dims{X: 8, Y: 8, Z: 8},
+		Variables: 1, ValueSize: 4, Field: field.Gradient{},
+	}
+	g, err := d.Grid(grid.Dims{X: 4, Y: 4, Z: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := d.BlockSamples(g, 0, 0, 0)
+	if len(vals) != 64 {
+		t.Fatalf("len = %d, want 64", len(vals))
+	}
+	// Gradient along X: first voxel center is x=(0+0.5)/8.
+	if math.Abs(float64(vals[0])-0.0625) > 1e-6 {
+		t.Errorf("vals[0] = %g, want 0.0625", vals[0])
+	}
+	// Values increase along X within a row.
+	if vals[1] <= vals[0] || vals[3] <= vals[2] {
+		t.Error("gradient not increasing along X")
+	}
+}
+
+func TestBlockSamplesStride(t *testing.T) {
+	d := &Dataset{
+		Name: "t", Res: grid.Dims{X: 64, Y: 64, Z: 64},
+		Variables: 1, ValueSize: 4, Field: field.Ball{},
+	}
+	g, err := d.Grid(grid.Dims{X: 64, Y: 64, Z: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := d.BlockSamples(g, 0, 0, 8)
+	if len(vals) != 8*8*8 {
+		t.Fatalf("strided len = %d, want 512", len(vals))
+	}
+	// maxPerAxis larger than the block samples everything.
+	all := d.BlockSamples(g, 0, 0, 100)
+	if len(all) != 64*64*64 {
+		t.Fatalf("unstrided len = %d", len(all))
+	}
+}
+
+func TestBlockSamplesPanicsOnBadVariable(t *testing.T) {
+	d := Ball().Scale(0.05)
+	g, _ := d.Grid(grid.Dims{X: 16, Y: 16, Z: 16})
+	defer func() {
+		if recover() == nil {
+			t.Error("bad variable did not panic")
+		}
+	}()
+	d.BlockSamples(g, 0, 5, 0)
+}
+
+func TestBlockSamplesDistinguishBlocks(t *testing.T) {
+	// Center blocks of the ball must have higher mean intensity than corner
+	// blocks — this is the structure the importance table depends on.
+	d := Ball().Scale(1.0 / 16) // 64³
+	g, err := d.Grid(grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(vals []float32) float64 {
+		var s float64
+		for _, v := range vals {
+			s += float64(v)
+		}
+		return s / float64(len(vals))
+	}
+	per := g.BlocksPerAxis()
+	centerID := g.ID(per.X/2, per.Y/2, per.Z/2)
+	cornerID := g.ID(0, 0, 0)
+	mc := mean(d.BlockSamples(g, centerID, 0, 8))
+	mo := mean(d.BlockSamples(g, cornerID, 0, 8))
+	if mc <= mo {
+		t.Errorf("center mean %g <= corner mean %g", mc, mo)
+	}
+	if mo > 0.01 {
+		t.Errorf("corner block of ball should be nearly ambient, mean %g", mo)
+	}
+}
+
+func TestSampleWorld(t *testing.T) {
+	d := Ball().Scale(1.0 / 16)
+	g, err := d.Grid(grid.Dims{X: 16, Y: 16, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// World origin is the volume center → max intensity region.
+	v := d.SampleWorld(g, 0, vec.New(0, 0, 0))
+	if v < 0.9 {
+		t.Errorf("center sample = %g, want ~1", v)
+	}
+	// Outside the volume → 0.
+	if got := d.SampleWorld(g, 0, vec.New(5, 0, 0)); got != 0 {
+		t.Errorf("outside sample = %g, want 0", got)
+	}
+}
+
+func TestClimateMultivariateSamples(t *testing.T) {
+	d := Climate().Scale(0.2).WithVariables(5)
+	g, err := d.GridWithBlockCount(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different variables of the same block must differ.
+	a := d.BlockSamples(g, 0, 0, 4)
+	b := d.BlockSamples(g, 0, 4, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("variables 0 and 4 produced identical block samples")
+	}
+}
+
+func TestGridWithBlockCount(t *testing.T) {
+	d := LiftedRR()
+	g, err := d.GridWithBlockCount(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumBlocks()
+	if n < 973 || n > 1075 { // within 5% of 1024
+		t.Errorf("block count = %d, want ~1024", n)
+	}
+}
