@@ -1,0 +1,24 @@
+# Pre-PR checks. `make check` is the gate: vet, build, full tests, and the
+# race detector over the concurrent real-I/O packages.
+GO ?= go
+
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

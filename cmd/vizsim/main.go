@@ -8,17 +8,34 @@
 //
 // Policies: fifo, lru, clock, lfu, arc, opt (the paper's app-aware policy).
 // Paths: spherical (uses -deg-lo as the per-step interval), random, orbit.
+//
+// With -realio the run moves actual bytes instead of simulating the
+// hierarchy: the dataset is materialized as a checksummed block file and
+// the concurrent out-of-core runtime drives it, optionally through a
+// deterministic fault injector (-fail-rate, -corrupt-rate, -io-latency,
+// -fault-seed), reporting retry/degradation counters alongside cache and
+// prefetch stats.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/ooc"
+	"repro/internal/radius"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/vec"
+	"repro/internal/visibility"
 	"repro/internal/volume"
 )
 
@@ -39,6 +56,15 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random-path seed")
 		pathFile = flag.String("path-file", "", "replay a recorded camera path instead of generating one")
 		savePath = flag.String("save-path", "", "write the camera path used to this file")
+
+		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
+		cacheFrac   = flag.Float64("cache-frac", 0.25, "realio: in-memory cache size as a fraction of the dataset")
+		failRate    = flag.Float64("fail-rate", 0, "realio: injected transient read-failure probability")
+		permFrac    = flag.Float64("perm-frac", 0, "realio: fraction of injected failures that are permanent")
+		corruptRate = flag.Float64("corrupt-rate", 0, "realio: injected payload bit-flip probability")
+		ioLatency   = flag.Duration("io-latency", 0, "realio: injected latency per block read")
+		faultSeed   = flag.Uint64("fault-seed", 1, "realio: fault injector seed")
+		readTimeout = flag.Duration("read-deadline", 0, "realio: per-read-attempt deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -96,6 +122,20 @@ func main() {
 		}
 	}
 
+	if *realio {
+		err := runRealIO(ds, g, p, vec.Radians(*angle), *cacheFrac, faultio.InjectorConfig{
+			Seed:          *faultSeed,
+			FailRate:      *failRate,
+			PermanentFrac: *permFrac,
+			CorruptRate:   *corruptRate,
+			Latency:       *ioLatency,
+		}, *readTimeout)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := sim.Config{
 		Dataset:    ds,
 		Grid:       g,
@@ -137,6 +177,97 @@ func main() {
 	fmt.Printf("total time        %v\n", m.TotalTime)
 	fmt.Printf("mean visible set  %.1f blocks\n", m.MeanVisible)
 	fmt.Printf("demand fetches    %d\n", m.DemandFetches)
+}
+
+// runRealIO materializes the dataset as a checksummed block file and plays
+// the camera path through the fault-tolerant out-of-core runtime, printing
+// retry/degradation counters alongside cache and prefetch stats.
+func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
+	cacheFrac float64, inject faultio.InjectorConfig, readDeadline time.Duration) error {
+	dir, err := os.MkdirTemp("", "vizsim-realio")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, ds.Name+".bvol")
+	start := time.Now()
+	if err := store.Write(path, ds, g, 0); err != nil {
+		return err
+	}
+	bf, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	fmt.Printf("materialized       %s (v%d, %d blocks) in %v\n",
+		path, bf.Header().Version, g.NumBlocks(), time.Since(start).Round(time.Millisecond))
+
+	inj := faultio.NewInjector(bf, inject)
+	capacity := int64(float64(ds.TotalBytes()) * cacheFrac)
+	if capacity <= 0 {
+		capacity = 1
+	}
+	mc, err := store.NewMemCache(inj, capacity, cache.NewLRU())
+	if err != nil {
+		return err
+	}
+	imp := entropy.Build(ds, g, entropy.Options{})
+	nAz, nEl, nDist := visibility.LatticeForTotal(25920, 10)
+	vis, err := visibility.NewTable(g, visibility.Options{
+		NAzimuth: nAz, NElevation: nEl, NDistance: nDist,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: theta,
+		Radius:    radius.Dynamic{Ratio: 0.25, Min: 0.15},
+		Lazy:      true,
+	})
+	if err != nil {
+		return err
+	}
+	rt, err := ooc.New(mc, vis, imp, ooc.Options{
+		Sigma:           imp.ThresholdForQuantile(0.75),
+		PrefetchWorkers: 4,
+		ReadDeadline:    readDeadline,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ctx := context.Background()
+	var missing int
+	wall := time.Now()
+	for _, pos := range p.Steps {
+		visible := visibility.VisibleSet(g, camera.Camera{Pos: pos, ViewAngle: theta})
+		_, rep, err := rt.Frame(ctx, pos, visible)
+		if err != nil {
+			return err
+		}
+		missing += len(rep.Missing)
+	}
+	elapsed := time.Since(wall)
+
+	st := rt.Snapshot()
+	hits, misses := rt.CacheStats()
+	fmt.Printf("frames             %d in %v wall clock\n", st.Frames, elapsed.Round(time.Millisecond))
+	fmt.Printf("cache              %d hits / %d misses (hit rate %.4f)\n",
+		hits, misses, float64(hits)/float64(maxI64(hits+misses, 1)))
+	fmt.Printf("demand             %d store reads, %d memory hits\n", st.DemandReads, st.DemandHits)
+	fmt.Printf("prefetch           %d issued, %d executed, %d failed, %d dropped\n",
+		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
+	fmt.Printf("retries            %d extra read attempts absorbed\n", st.Retries)
+	fmt.Printf("checksum rejects   %d\n", st.ChecksumErrors)
+	fmt.Printf("degraded frames    %d of %d (%d blocks lost)\n", st.DegradedFrames, st.Frames, missing)
+	is := inj.Stats()
+	fmt.Printf("injected faults    %d transient, %d permanent, %d corrupted (%d caught) over %d reads\n",
+		is.Transient, is.Permanent, is.Corrupted, is.CorruptCaught, is.Reads)
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

@@ -1,9 +1,15 @@
 // Realio: genuine out-of-core visualization with actual disk I/O — the
 // paper's future-work direction (§VI, parallel data fetching). The example
-// materializes a block-layout file on disk, opens it behind a
-// byte-budgeted in-memory cache, and drives the concurrent runtime: demand
-// reads are parallel, and the vicinity's predicted high-entropy blocks are
+// materializes a block-layout file on disk (bvol v2, checksummed), opens it
+// behind a fault injector and a byte-budgeted in-memory cache, and drives
+// the concurrent runtime: demand reads are parallel and retried on
+// transient faults, and the vicinity's predicted high-entropy blocks are
 // prefetched by background workers while each frame "renders".
+//
+// The injector deliberately fails 5% of reads and corrupts 2% to show the
+// fault-tolerance layer at work: retries absorb every transient fault and
+// the per-block CRC32C catches every corruption, so all frames complete
+// undegraded — the counters at the end prove how much was absorbed.
 //
 // Run with:
 //
@@ -11,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,6 +28,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/entropy"
+	"repro/internal/faultio"
 	"repro/internal/ooc"
 	"repro/internal/radius"
 	"repro/internal/store"
@@ -51,16 +59,25 @@ func main() {
 		log.Fatal(err)
 	}
 	defer bf.Close()
-	fmt.Printf("materialized %s (%d blocks, %d bytes) in %v\n",
-		path, g.NumBlocks(), ds.TotalBytes(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("materialized %s (v%d, %d blocks, %d bytes) in %v\n",
+		path, bf.Header().Version, g.NumBlocks(), ds.TotalBytes(),
+		time.Since(start).Round(time.Millisecond))
 
-	// 2. Cache 25% of the data in memory, LRU-managed.
-	mc, err := store.NewMemCache(bf, ds.TotalBytes()/4, cache.NewLRU())
+	// 2. A deterministic fault injector between disk and cache: transient
+	// failures and in-transit bit flips, as unreliable storage would serve.
+	inj := faultio.NewInjector(bf, faultio.InjectorConfig{
+		Seed:        1,
+		FailRate:    0.05,
+		CorruptRate: 0.02,
+	})
+
+	// 3. Cache 25% of the data in memory, LRU-managed.
+	mc, err := store.NewMemCache(inj, ds.TotalBytes()/4, cache.NewLRU())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Prediction tables (Steps 1-2 of the paper's pipeline).
+	// 4. Prediction tables (Steps 1-2 of the paper's pipeline).
 	imp := entropy.Build(ds, g, entropy.Options{})
 	nAz, nEl, nDist := visibility.LatticeForTotal(25920, 10)
 	vis, err := visibility.NewTable(g, visibility.Options{
@@ -74,25 +91,34 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. The concurrent out-of-core runtime.
+	// 5. The concurrent out-of-core runtime, with retries and a per-read
+	// deadline so one slow block cannot stall a frame.
 	rt, err := ooc.New(mc, vis, imp, ooc.Options{
 		Sigma:           imp.ThresholdForQuantile(0.75),
 		PrefetchWorkers: 4,
+		ReadDeadline:    2 * time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Close()
 
+	ctx := context.Background()
 	theta := vec.Radians(10)
 	path2 := vizcache.SphericalPath(3, 5, 90)
 	var frameBytes int64
+	var degraded int
 	wall := time.Now()
 	for i, pos := range path2.Steps {
 		visible := vizcache.VisibleBlocks(g, vizcache.Camera{Pos: pos, ViewAngle: theta})
-		data, err := rt.Frame(pos, visible)
+		data, rep, err := rt.Frame(ctx, pos, visible)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if rep.Degraded {
+			// A production renderer would substitute the previous frame's
+			// data or a lower LOD for rep.Missing; here we just count it.
+			degraded++
 		}
 		for _, vals := range data {
 			frameBytes += int64(len(vals)) * 4
@@ -119,8 +145,14 @@ func main() {
 		st.Frames, elapsed.Round(time.Millisecond), float64(frameBytes)/(1<<20))
 	fmt.Printf("cache: %d hits / %d misses (hit rate %.2f)\n",
 		hits, misses, float64(hits)/float64(max64(hits+misses, 1)))
-	fmt.Printf("prefetch: %d issued, %d executed, %d dropped\n",
-		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchDropped)
+	fmt.Printf("prefetch: %d issued, %d executed, %d failed, %d dropped\n",
+		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
+	fmt.Printf("faults: %d retries absorbed, %d corruptions caught by CRC, %d reads lost, %d/%d frames degraded\n",
+		st.Retries, st.ChecksumErrors, st.FailedReads, degraded, st.Frames)
+	inStats := inj.Stats()
+	fmt.Printf("injected: %d transient, %d permanent, %d corrupted (%d caught, %d silent) over %d reads\n",
+		inStats.Transient, inStats.Permanent, inStats.Corrupted,
+		inStats.CorruptCaught, inStats.CorruptSilent, inStats.Reads)
 }
 
 func max64(a, b int64) int64 {

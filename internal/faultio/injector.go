@@ -1,0 +1,181 @@
+package faultio
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// InjectorConfig sets the fault mix. All rates are probabilities in [0, 1]
+// drawn independently per read.
+type InjectorConfig struct {
+	// Seed makes the fault sequence deterministic: the decision for the
+	// n-th read of block b depends only on (Seed, b, n), not on goroutine
+	// interleaving across blocks.
+	Seed uint64
+	// FailRate is the probability a read fails outright before touching
+	// the underlying store.
+	FailRate float64
+	// PermanentFrac is the fraction of injected failures that are
+	// permanent (not retryable); the rest are transient.
+	PermanentFrac float64
+	// CorruptRate is the probability a successful read's payload gets one
+	// bit flipped. If the underlying reader stores checksums (bvol v2),
+	// the corruption is detected and returned as a transient ErrChecksum
+	// fault; otherwise it is silent — exactly the hazard checksums exist
+	// to close.
+	CorruptRate float64
+	// Latency and LatencyJitter add fixed plus uniform-random delay to
+	// every read, honoring context cancellation (this is how per-read
+	// deadlines are exercised in tests).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// FailBlocks always fail permanently, modeling lost or unreadable
+	// blocks.
+	FailBlocks []grid.BlockID
+}
+
+// InjectorStats counts injected activity.
+type InjectorStats struct {
+	Reads          int64 // reads that reached the injector
+	Transient      int64 // injected transient failures
+	Permanent      int64 // injected permanent failures (incl. FailBlocks)
+	Corrupted      int64 // payloads bit-flipped
+	CorruptCaught  int64 // corruptions detected via stored checksums
+	CorruptSilent  int64 // corruptions passed through undetected (v1 files)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Injector wraps a BlockReader with deterministic, seed-driven fault
+// injection. It satisfies both BlockReader and the context-aware read
+// interface the MemCache prefers, so injected latency can be cut short by
+// per-read deadlines. Safe for concurrent use.
+type Injector struct {
+	r    BlockReader
+	cfg  InjectorConfig
+	ck   Checksummer // non-nil when r stores checksums
+	fail map[grid.BlockID]bool
+
+	mu    sync.Mutex
+	seq   map[grid.BlockID]uint64 // per-block read counter
+	stats InjectorStats
+}
+
+// NewInjector wraps r. A zero config injects nothing and passes reads
+// through (plus zero latency), so an Injector can stay in the stack
+// permanently and be enabled by configuration.
+func NewInjector(r BlockReader, cfg InjectorConfig) *Injector {
+	in := &Injector{r: r, cfg: cfg, seq: make(map[grid.BlockID]uint64)}
+	if ck, ok := r.(Checksummer); ok {
+		in.ck = ck
+	}
+	if len(cfg.FailBlocks) > 0 {
+		in.fail = make(map[grid.BlockID]bool, len(cfg.FailBlocks))
+		for _, id := range cfg.FailBlocks {
+			in.fail[id] = true
+		}
+	}
+	return in
+}
+
+// ReadBlock implements BlockReader.
+func (in *Injector) ReadBlock(id grid.BlockID) ([]float32, error) {
+	return in.ReadBlockContext(context.Background(), id)
+}
+
+// ReadBlockContext reads the block, applying the configured fault mix. The
+// injected latency is interruptible by ctx.
+func (in *Injector) ReadBlockContext(ctx context.Context, id grid.BlockID) ([]float32, error) {
+	r := in.draw(id)
+	if d := in.cfg.Latency + time.Duration(r.float()*float64(in.cfg.LatencyJitter)); d > 0 {
+		if err := sleep(ctx, d); err != nil {
+			return nil, err
+		}
+	} else if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if in.fail[id] {
+		in.count(func(s *InjectorStats) { s.Permanent++ })
+		return nil, fmt.Errorf("faultio: block %d unreadable: %w", id, ErrPermanent)
+	}
+	if r.float() < in.cfg.FailRate {
+		if r.float() < in.cfg.PermanentFrac {
+			in.count(func(s *InjectorStats) { s.Permanent++ })
+			return nil, fmt.Errorf("faultio: injected permanent failure on block %d: %w", id, ErrPermanent)
+		}
+		in.count(func(s *InjectorStats) { s.Transient++ })
+		return nil, fmt.Errorf("faultio: injected transient failure on block %d: %w", id, ErrTransient)
+	}
+	vals, err := in.r.ReadBlock(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) > 0 && r.float() < in.cfg.CorruptRate {
+		return in.corrupt(r, id, vals)
+	}
+	return vals, nil
+}
+
+// corrupt flips one bit of the payload. With a checksummed store the flip
+// is caught (verified by recomputing the CRC the way a transport layer
+// would) and surfaced as a transient checksum fault; without one the
+// corrupted data is returned as if nothing happened.
+func (in *Injector) corrupt(r rng, id grid.BlockID, vals []float32) ([]float32, error) {
+	bad := make([]float32, len(vals))
+	copy(bad, vals)
+	i := int(r.next() % uint64(len(bad)))
+	bit := uint32(1) << (r.next() % 32)
+	bad[i] = math.Float32frombits(math.Float32bits(bad[i]) ^ bit)
+	if want, ok := in.checksum(id); ok {
+		raw := make([]byte, 4*len(bad))
+		for j, v := range bad {
+			binary.LittleEndian.PutUint32(raw[4*j:], math.Float32bits(v))
+		}
+		if crc32.Checksum(raw, castagnoli) != want {
+			in.count(func(s *InjectorStats) { s.Corrupted++; s.CorruptCaught++ })
+			return nil, fmt.Errorf("faultio: injected corruption on block %d detected: %w",
+				id, Transient(ErrChecksum))
+		}
+	}
+	in.count(func(s *InjectorStats) { s.Corrupted++; s.CorruptSilent++ })
+	return bad, nil
+}
+
+func (in *Injector) checksum(id grid.BlockID) (uint32, bool) {
+	if in.ck == nil {
+		return 0, false
+	}
+	return in.ck.BlockChecksum(id)
+}
+
+// draw returns a generator whose sequence depends only on the seed, the
+// block, and how many times that block has been read, so fault decisions
+// are reproducible regardless of cross-block goroutine interleaving.
+func (in *Injector) draw(id grid.BlockID) rng {
+	in.mu.Lock()
+	n := in.seq[id]
+	in.seq[id] = n + 1
+	in.stats.Reads++
+	in.mu.Unlock()
+	return rng{s: in.cfg.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15 ^ (n+1)*0xBF58476D1CE4E5B9}
+}
+
+func (in *Injector) count(f func(*InjectorStats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of injected activity.
+func (in *Injector) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

@@ -1,0 +1,92 @@
+package faultio
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Retrier retries an operation with capped exponential backoff plus
+// deterministic jitter. The zero value is usable and applies the defaults
+// noted on each field. Safe for concurrent use; one Retrier is meant to be
+// shared by all reads of a runtime.
+type Retrier struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles each
+	// retry (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 100ms).
+	MaxDelay time.Duration
+	// PerTry, when positive, bounds each individual attempt with a
+	// deadline. An attempt that exceeds it fails with
+	// context.DeadlineExceeded, which is retryable as long as the caller's
+	// own context is still live.
+	PerTry time.Duration
+	// Seed drives the jitter sequence, making backoff schedules
+	// reproducible in tests.
+	Seed uint64
+
+	mu     sync.Mutex
+	jrng   rng
+	seeded bool
+}
+
+// Do runs op until it succeeds, fails permanently, exhausts MaxAttempts, or
+// ctx is done. It returns the number of attempts made and the final error
+// (nil on success). op receives the per-attempt context; it must honor
+// cancellation if it can.
+func (r *Retrier) Do(ctx context.Context, op func(context.Context) error) (attempts int, err error) {
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	base := r.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 100 * time.Millisecond
+	}
+	for attempts = 1; ; attempts++ {
+		err = r.try(ctx, op)
+		if err == nil {
+			return attempts, nil
+		}
+		// The caller's context being done overrides classification: the
+		// result can no longer be used, so stop immediately.
+		if ctx.Err() != nil || !Retryable(err) || attempts >= maxAttempts {
+			return attempts, err
+		}
+		d := base << (attempts - 1)
+		if d <= 0 || d > maxDelay {
+			d = maxDelay
+		}
+		if sleep(ctx, d+r.jitter(d)) != nil {
+			return attempts, err
+		}
+	}
+}
+
+func (r *Retrier) try(ctx context.Context, op func(context.Context) error) error {
+	if r.PerTry > 0 {
+		tctx, cancel := context.WithTimeout(ctx, r.PerTry)
+		defer cancel()
+		return op(tctx)
+	}
+	return op(ctx)
+}
+
+// jitter draws a uniform duration in [0, d/2) from the seeded generator so
+// concurrent retries spread out instead of thundering in lockstep.
+func (r *Retrier) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seeded {
+		r.jrng.s = r.Seed ^ 0x6A09E667F3BCC909
+		r.seeded = true
+	}
+	return time.Duration(r.jrng.float() * float64(d) / 2)
+}

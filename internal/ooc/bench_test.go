@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -54,12 +55,13 @@ func BenchmarkFrame(b *testing.B) {
 	defer rt.Close()
 	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(10)}
 	visible := visibility.VisibleSet(g, cam)
-	if _, err := rt.Frame(cam.Pos, visible); err != nil {
+	ctx := context.Background()
+	if _, _, err := rt.Frame(ctx, cam.Pos, visible); err != nil {
 		b.Fatal(err) // warm the cache
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rt.Frame(cam.Pos, visible); err != nil {
+		if _, _, err := rt.Frame(ctx, cam.Pos, visible); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,16 +8,25 @@
 //
 // Unlike package sim — which measures a simulated hierarchy on a virtual
 // clock — this package moves actual bytes; it is the runtime an application
-// would embed.
+// would embed. It is therefore built for storage that fails: demand reads
+// retry transient faults with backoff (package faultio), per-read deadlines
+// keep a slow block from stalling the frame, and a block that is
+// permanently lost degrades the frame (reported via FrameReport) instead of
+// failing it.
 package ooc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/entropy"
+	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -36,6 +45,14 @@ type Options struct {
 	QueueDepth int
 	// Sigma is the entropy threshold for prefetch candidates.
 	Sigma float64
+	// Retry is the policy for demand reads. Nil gets the default: 4
+	// attempts, 1ms base backoff doubling to a 50ms cap, with ReadDeadline
+	// as the per-attempt deadline. Set MaxAttempts to 1 to disable
+	// retries.
+	Retry *faultio.Retrier
+	// ReadDeadline bounds each demand-read attempt when Retry is nil
+	// (0 = no per-read deadline).
+	ReadDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -48,16 +65,48 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
 	}
+	if o.Retry == nil {
+		o.Retry = &faultio.Retrier{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			PerTry:      o.ReadDeadline,
+		}
+	}
 	return o
 }
 
 // Stats counts runtime activity. Read with Snapshot.
 type Stats struct {
-	Frames           int64
-	DemandReads      int64
+	Frames         int64
+	DemandReads    int64 // demand misses that actually read the backing store
+	DemandHits     int64 // demand reads served from cache memory
+	DegradedFrames int64 // frames that completed with at least one block missing
+	FailedReads    int64 // demand reads lost after exhausting retries
+	Retries        int64 // extra demand-read attempts beyond the first
+	ChecksumErrors int64 // demand-read attempts rejected by checksum verification
+
 	PrefetchIssued   int64
 	PrefetchDropped  int64
 	PrefetchExecuted int64
+	PrefetchFailed   int64
+}
+
+// FrameReport describes how completely a frame was served. A degraded
+// frame is still renderable: every block the storage could produce is
+// present, and Missing names the holes so the renderer can substitute
+// (previous frame's data, lower LOD, or empty space).
+type FrameReport struct {
+	// Degraded is true when at least one visible block could not be read.
+	Degraded bool
+	// Missing lists the unreadable blocks, ascending. Their slots in the
+	// returned data are nil.
+	Missing []grid.BlockID
+	// Failures maps each missing block to its final error.
+	Failures map[grid.BlockID]error
+	// Retried counts visible blocks that needed more than one read
+	// attempt but were ultimately served.
+	Retried int64
 }
 
 // Runtime drives a block cache with parallel demand fetching and
@@ -69,15 +118,24 @@ type Runtime struct {
 	imp   *entropy.Table
 	opts  Options
 
+	// mu serializes prefetch enqueues against Close so a late Frame never
+	// sends on a closed channel.
+	mu         sync.RWMutex
 	prefetchCh chan grid.BlockID
 	wg         sync.WaitGroup
 	closed     atomic.Bool
 
 	frames           atomic.Int64
 	demandReads      atomic.Int64
+	demandHits       atomic.Int64
+	degradedFrames   atomic.Int64
+	failedReads      atomic.Int64
+	retries          atomic.Int64
+	checksumErrors   atomic.Int64
 	prefetchIssued   atomic.Int64
 	prefetchDropped  atomic.Int64
 	prefetchExecuted atomic.Int64
+	prefetchFailed   atomic.Int64
 }
 
 // New starts the runtime's prefetch workers.
@@ -98,10 +156,13 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 		go func() {
 			defer r.wg.Done()
 			for id := range r.prefetchCh {
-				// Best-effort: a failed prefetch only means the block will
-				// be demand-read later.
-				if err := r.cache.Prefetch(id); err == nil {
+				// Best-effort, single attempt: a failed prefetch only
+				// means the block will be demand-read (with retries)
+				// later.
+				if err := r.cache.Prefetch(context.Background(), id); err == nil {
 					r.prefetchExecuted.Add(1)
+				} else {
+					r.prefetchFailed.Add(1)
 				}
 			}
 		}()
@@ -109,52 +170,104 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 	return r, nil
 }
 
-// Frame fetches every visible block (in parallel) and returns their voxel
-// data indexed like visible. Before returning it enqueues asynchronous
-// prefetches for the camera vicinity's predicted high-entropy blocks, which
-// proceed while the caller renders the returned data.
-func (r *Runtime) Frame(pos vec.V3, visible []grid.BlockID) ([][]float32, error) {
+// Frame fetches every visible block (in parallel, retrying transient
+// faults) and returns their voxel data indexed like visible. Blocks whose
+// reads fail permanently are returned as nil entries and named in the
+// FrameReport — the frame degrades rather than fails. The error return is
+// reserved for frame-level conditions: a closed runtime or a done ctx.
+// Before returning, Frame enqueues asynchronous prefetches for the camera
+// vicinity's predicted high-entropy blocks, which proceed while the caller
+// renders the returned data.
+func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID) ([][]float32, FrameReport, error) {
+	var rep FrameReport
 	if r.closed.Load() {
-		return nil, fmt.Errorf("ooc: runtime closed")
+		return nil, rep, fmt.Errorf("ooc: runtime closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, rep, err
 	}
 	r.frames.Add(1)
 	out := make([][]float32, len(visible))
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		repMu sync.Mutex
+	)
 	sem := make(chan struct{}, r.opts.DemandWorkers)
-	var firstErr atomic.Value
 	for i, id := range visible {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, id grid.BlockID) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			vals, err := r.cache.Get(id)
-			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
+			attempts, err := r.opts.Retry.Do(ctx, func(c context.Context) error {
+				vals, hit, e := r.cache.Get(c, id)
+				if e != nil {
+					if errors.Is(e, faultio.ErrChecksum) {
+						r.checksumErrors.Add(1)
+					}
+					return e
+				}
+				out[i] = vals
+				if hit {
+					r.demandHits.Add(1)
+				} else {
+					r.demandReads.Add(1)
+				}
+				return nil
+			})
+			if attempts > 1 {
+				r.retries.Add(int64(attempts - 1))
 			}
-			out[i] = vals
-			r.demandReads.Add(1)
+			switch {
+			case err == nil:
+				if attempts > 1 {
+					repMu.Lock()
+					rep.Retried++
+					repMu.Unlock()
+				}
+			case ctx.Err() != nil:
+				// Frame-level cancellation, reported below; not a storage
+				// loss.
+			default:
+				r.failedReads.Add(1)
+				repMu.Lock()
+				if rep.Failures == nil {
+					rep.Failures = make(map[grid.BlockID]error)
+				}
+				rep.Missing = append(rep.Missing, id)
+				rep.Failures[id] = err
+				repMu.Unlock()
+			}
 		}(i, id)
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, FrameReport{}, err
+	}
+	if len(rep.Missing) > 0 {
+		sort.Slice(rep.Missing, func(a, b int) bool { return rep.Missing[a] < rep.Missing[b] })
+		rep.Degraded = true
+		r.degradedFrames.Add(1)
 	}
 
-	// Schedule prediction-driven prefetch; never block the frame.
-	for _, id := range r.vis.Predict(pos) {
-		if r.imp.Score(id) <= r.opts.Sigma || r.cache.Contains(id) {
-			continue
-		}
-		select {
-		case r.prefetchCh <- id:
-			r.prefetchIssued.Add(1)
-		default:
-			r.prefetchDropped.Add(1)
+	// Schedule prediction-driven prefetch; never block the frame. The read
+	// lock fences against Close closing the channel mid-enqueue.
+	r.mu.RLock()
+	if !r.closed.Load() {
+		for _, id := range r.vis.Predict(pos) {
+			if r.imp.Score(id) <= r.opts.Sigma || r.cache.Contains(id) {
+				continue
+			}
+			select {
+			case r.prefetchCh <- id:
+				r.prefetchIssued.Add(1)
+			default:
+				r.prefetchDropped.Add(1)
+			}
 		}
 	}
-	return out, nil
+	r.mu.RUnlock()
+	return out, rep, nil
 }
 
 // Snapshot returns current counters.
@@ -162,9 +275,15 @@ func (r *Runtime) Snapshot() Stats {
 	return Stats{
 		Frames:           r.frames.Load(),
 		DemandReads:      r.demandReads.Load(),
+		DemandHits:       r.demandHits.Load(),
+		DegradedFrames:   r.degradedFrames.Load(),
+		FailedReads:      r.failedReads.Load(),
+		Retries:          r.retries.Load(),
+		ChecksumErrors:   r.checksumErrors.Load(),
 		PrefetchIssued:   r.prefetchIssued.Load(),
 		PrefetchDropped:  r.prefetchDropped.Load(),
 		PrefetchExecuted: r.prefetchExecuted.Load(),
+		PrefetchFailed:   r.prefetchFailed.Load(),
 	}
 }
 
@@ -172,11 +291,15 @@ func (r *Runtime) Snapshot() Stats {
 func (r *Runtime) CacheStats() (hits, misses int64) { return r.cache.Stats() }
 
 // Close stops the prefetch workers and waits for them to drain. Frame must
-// not be called afterwards. Close is idempotent.
+// not be called afterwards (it fails cleanly if it is; frames already in
+// flight complete). Close is idempotent and safe to call concurrently with
+// Frame.
 func (r *Runtime) Close() {
 	if r.closed.Swap(true) {
 		return
 	}
+	r.mu.Lock()
 	close(r.prefetchCh)
+	r.mu.Unlock()
 	r.wg.Wait()
 }

@@ -1,13 +1,18 @@
 package ooc
 
 import (
+	"context"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/camera"
 	"repro/internal/entropy"
+	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/radius"
 	"repro/internal/store"
@@ -19,12 +24,19 @@ import (
 type fixture struct {
 	g     *grid.Grid
 	bf    *store.BlockFile
+	inj   *faultio.Injector // nil unless built with newFaultFixture
 	cache *store.MemCache
 	vis   *visibility.Table
 	imp   *entropy.Table
 }
 
 func newFixture(t *testing.T, cacheBlocks int64) *fixture {
+	return newFaultFixture(t, cacheBlocks, nil)
+}
+
+// newFaultFixture builds the stack with an optional fault injector between
+// the block file and the cache.
+func newFaultFixture(t *testing.T, cacheBlocks int64, cfg *faultio.InjectorConfig) *fixture {
 	t.Helper()
 	ds := volume.Ball().Scale(1.0 / 32) // 32³
 	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
@@ -40,12 +52,19 @@ func newFixture(t *testing.T, cacheBlocks int64) *fixture {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { bf.Close() })
-	mc, err := store.NewMemCache(bf, cacheBlocks*bf.BlockBytes(0), cache.NewLRU())
+	f := &fixture{g: g, bf: bf}
+	var reader store.BlockReader = bf
+	if cfg != nil {
+		f.inj = faultio.NewInjector(bf, *cfg)
+		reader = f.inj
+	}
+	mc, err := store.NewMemCache(reader, cacheBlocks*bf.BlockBytes(0), cache.NewLRU())
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp := entropy.Build(ds, g, entropy.Options{})
-	vis, err := visibility.NewTable(g, visibility.Options{
+	f.cache = mc
+	f.imp = entropy.Build(ds, g, entropy.Options{})
+	f.vis, err = visibility.NewTable(g, visibility.Options{
 		NAzimuth: 16, NElevation: 8, NDistance: 2,
 		RMin: 2.5, RMax: 3.5,
 		ViewAngle: vec.Radians(20),
@@ -55,7 +74,18 @@ func newFixture(t *testing.T, cacheBlocks int64) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{g: g, bf: bf, cache: mc, vis: vis, imp: imp}
+	return f
+}
+
+// fastRetry keeps fault-absorption tests quick while still exercising the
+// backoff path.
+func fastRetry(attempts int) *faultio.Retrier {
+	return &faultio.Retrier{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Microsecond,
+		MaxDelay:    100 * time.Microsecond,
+		Seed:        11,
+	}
 }
 
 func TestNewValidation(t *testing.T) {
@@ -80,9 +110,12 @@ func TestFrameReturnsAllVisibleBlocks(t *testing.T) {
 	defer r.Close()
 	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
 	visible := visibility.VisibleSet(f.g, cam)
-	data, err := r.Frame(cam.Pos, visible)
+	data, rep, err := r.Frame(context.Background(), cam.Pos, visible)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Degraded || len(rep.Missing) != 0 {
+		t.Errorf("healthy frame degraded: %+v", rep)
 	}
 	if len(data) != len(visible) {
 		t.Fatalf("frame blocks = %d, want %d", len(data), len(visible))
@@ -98,6 +131,40 @@ func TestFrameReturnsAllVisibleBlocks(t *testing.T) {
 	}
 }
 
+// TestDemandReadsCountOnlyStoreReads pins the metric fix: a warm repeat
+// frame must not inflate DemandReads — it lands in DemandHits, matching the
+// cache's own hit/miss accounting.
+func TestDemandReadsCountOnlyStoreReads(t *testing.T) {
+	f := newFixture(t, 64)
+	r, err := New(f.cache, f.vis, f.imp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Snapshot()
+	n := int64(len(visible))
+	if st.DemandReads != n {
+		t.Errorf("DemandReads = %d after warm repeat, want %d", st.DemandReads, n)
+	}
+	if st.DemandHits != n {
+		t.Errorf("DemandHits = %d, want %d", st.DemandHits, n)
+	}
+	hits, misses := r.CacheStats()
+	if st.DemandReads != misses || st.DemandHits != hits {
+		t.Errorf("runtime (%d reads/%d hits) disagrees with cache (%d misses/%d hits)",
+			st.DemandReads, st.DemandHits, misses, hits)
+	}
+}
+
 func TestFrameSchedulesPrefetch(t *testing.T) {
 	f := newFixture(t, 64)
 	r, err := New(f.cache, f.vis, f.imp, Options{Sigma: 0})
@@ -106,7 +173,7 @@ func TestFrameSchedulesPrefetch(t *testing.T) {
 	}
 	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
 	visible := visibility.VisibleSet(f.g, cam)
-	if _, err := r.Frame(cam.Pos, visible); err != nil {
+	if _, _, err := r.Frame(context.Background(), cam.Pos, visible); err != nil {
 		t.Fatal(err)
 	}
 	// Close drains the queue, so after Close all issued prefetches have
@@ -116,7 +183,7 @@ func TestFrameSchedulesPrefetch(t *testing.T) {
 	if st.PrefetchIssued == 0 {
 		t.Error("no prefetches issued")
 	}
-	if st.PrefetchExecuted+st.PrefetchDropped < st.PrefetchIssued {
+	if st.PrefetchExecuted+st.PrefetchFailed+st.PrefetchDropped < st.PrefetchIssued {
 		t.Errorf("prefetch accounting inconsistent: %+v", st)
 	}
 }
@@ -128,25 +195,26 @@ func TestPrefetchImprovesSecondFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
+	ctx := context.Background()
 	theta := vec.Radians(20)
 	p1 := vec.New(0, 0, 3)
 	p2 := vec.RotateAbout(p1, vec.New(0, 1, 0), vec.Radians(5))
 	v1 := visibility.VisibleSet(f.g, camera.Camera{Pos: p1, ViewAngle: theta})
-	if _, err := r.Frame(p1, v1); err != nil {
+	if _, _, err := r.Frame(ctx, p1, v1); err != nil {
 		t.Fatal(err)
 	}
 	// Give the async prefetchers time to drain the queue.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		st := r.Snapshot()
-		if st.PrefetchExecuted+st.PrefetchDropped >= st.PrefetchIssued {
+		if st.PrefetchExecuted+st.PrefetchFailed+st.PrefetchDropped >= st.PrefetchIssued {
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
 	hitsBefore, missesBefore := r.CacheStats()
 	v2 := visibility.VisibleSet(f.g, camera.Camera{Pos: p2, ViewAngle: theta})
-	if _, err := r.Frame(p2, v2); err != nil {
+	if _, _, err := r.Frame(ctx, p2, v2); err != nil {
 		t.Fatal(err)
 	}
 	hitsAfter, missesAfter := r.CacheStats()
@@ -168,8 +236,28 @@ func TestFrameAfterCloseFails(t *testing.T) {
 	}
 	r.Close()
 	r.Close() // idempotent
-	if _, err := r.Frame(vec.New(0, 0, 3), []grid.BlockID{0}); err == nil {
+	if _, _, err := r.Frame(context.Background(), vec.New(0, 0, 3), []grid.BlockID{0}); err == nil {
 		t.Error("Frame after Close succeeded")
+	}
+}
+
+func TestFrameHonorsContext(t *testing.T) {
+	f := newFixture(t, 16)
+	r, err := New(f.cache, f.vis, f.imp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err == nil {
+		t.Error("Frame with canceled context succeeded")
+	}
+	st := r.Snapshot()
+	if st.FailedReads != 0 {
+		t.Errorf("cancellation miscounted as %d storage failures", st.FailedReads)
 	}
 }
 
@@ -187,7 +275,7 @@ func TestQueueOverflowDropsNotBlocks(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := r.Frame(cam.Pos, visible); err != nil {
+		if _, _, err := r.Frame(context.Background(), cam.Pos, visible); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -206,13 +294,17 @@ func TestConcurrentFramesStressCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
+	ctx := context.Background()
 	theta := vec.Radians(20)
 	path := camera.Orbit(3, 20)
 	for _, pos := range path.Steps {
 		visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
-		data, err := r.Frame(pos, visible)
+		data, rep, err := r.Frame(ctx, pos, visible)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if rep.Degraded {
+			t.Fatalf("degraded without faults: %+v", rep)
 		}
 		for i := range data {
 			if data[i] == nil {
@@ -220,4 +312,176 @@ func TestConcurrentFramesStressCache(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestTransientFaultsAbsorbed is the headline acceptance test: at a 10%
+// transient read-failure rate, 100 frames complete with zero degradation —
+// the retry layer absorbs every fault, and the counters prove retries
+// actually happened.
+func TestTransientFaultsAbsorbed(t *testing.T) {
+	f := newFaultFixture(t, 8, &faultio.InjectorConfig{Seed: 2026, FailRate: 0.10})
+	r, err := New(f.cache, f.vis, f.imp, Options{Sigma: 0, Retry: fastRetry(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	theta := vec.Radians(20)
+	path := camera.Orbit(3, 100)
+	for i, pos := range path.Steps {
+		visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+		data, rep, err := r.Frame(ctx, pos, visible)
+		if err != nil {
+			t.Fatalf("frame %d failed outright: %v", i, err)
+		}
+		if rep.Degraded {
+			t.Fatalf("frame %d degraded despite retries: missing %v (%v)",
+				i, rep.Missing, rep.Failures)
+		}
+		for j := range data {
+			if data[j] == nil {
+				t.Fatalf("frame %d block %d nil without degradation flag", i, visible[j])
+			}
+		}
+	}
+	st := r.Snapshot()
+	if st.Frames != 100 {
+		t.Errorf("frames = %d", st.Frames)
+	}
+	if st.Retries == 0 {
+		t.Error("no retries recorded at a 10% failure rate — injector not in the path?")
+	}
+	if st.FailedReads != 0 || st.DegradedFrames != 0 {
+		t.Errorf("unexpected losses: %+v", st)
+	}
+	if f.inj.Stats().Transient == 0 {
+		t.Error("injector reports no injected faults")
+	}
+}
+
+// TestPermanentBlockDegradesFrame: a permanently lost block must not fail
+// the frame; it must come back as a degraded FrameReport naming the block.
+func TestPermanentBlockDegradesFrame(t *testing.T) {
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	probe := newFixture(t, 8)
+	visible := visibility.VisibleSet(probe.g, cam)
+	if len(visible) == 0 {
+		t.Fatal("no visible blocks")
+	}
+	lost := visible[len(visible)/2]
+
+	f := newFaultFixture(t, 8, &faultio.InjectorConfig{FailBlocks: []grid.BlockID{lost}})
+	r, err := New(f.cache, f.vis, f.imp, Options{Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	data, rep, err := r.Frame(context.Background(), cam.Pos, visible)
+	if err != nil {
+		t.Fatalf("degradation returned a frame-level error: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("report not degraded")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != lost {
+		t.Fatalf("Missing = %v, want [%d]", rep.Missing, lost)
+	}
+	if rep.Failures[lost] == nil {
+		t.Error("no failure cause recorded for the lost block")
+	}
+	for i, id := range visible {
+		if id == lost {
+			if data[i] != nil {
+				t.Error("lost block has data")
+			}
+			continue
+		}
+		if data[i] == nil {
+			t.Errorf("healthy block %d missing", id)
+		}
+	}
+	st := r.Snapshot()
+	if st.FailedReads == 0 || st.DegradedFrames != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCorruptionDetectedAndRetried: injected in-transit corruption over a
+// checksummed (v2) file must be caught and absorbed by a retry, never
+// silently rendered.
+func TestCorruptionDetectedAndRetried(t *testing.T) {
+	f := newFaultFixture(t, 8, &faultio.InjectorConfig{Seed: 5, CorruptRate: 0.25})
+	r, err := New(f.cache, f.vis, f.imp, Options{Retry: fastRetry(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	theta := vec.Radians(20)
+	for _, pos := range camera.Orbit(3, 30).Steps {
+		visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+		_, rep, err := r.Frame(ctx, pos, visible)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Degraded {
+			t.Fatalf("corruption degraded the frame: %+v", rep)
+		}
+	}
+	st := r.Snapshot()
+	if st.ChecksumErrors == 0 {
+		t.Error("no checksum rejections recorded at a 25% corruption rate")
+	}
+	if inj := f.inj.Stats(); inj.CorruptSilent != 0 {
+		t.Errorf("%d corruptions passed silently over a v2 file", inj.CorruptSilent)
+	}
+}
+
+// TestFrameConcurrentWithClose hammers Frame from several goroutines while
+// Close runs, with faults injected. Run under -race it proves the
+// send/close coordination; afterwards the prefetch workers must have
+// drained (no goroutine leak) and Frame must fail cleanly.
+func TestFrameConcurrentWithClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	f := newFaultFixture(t, 8, &faultio.InjectorConfig{Seed: 9, FailRate: 0.2})
+	r, err := New(f.cache, f.vis, f.imp, Options{
+		Sigma: 0, PrefetchWorkers: 4, Retry: fastRetry(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				_, _, err := r.Frame(ctx, cam.Pos, visible)
+				if err != nil {
+					if !strings.Contains(err.Error(), "closed") {
+						t.Errorf("unexpected frame error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	r.Close()
+	wg.Wait()
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err == nil {
+		t.Error("Frame after Close succeeded")
+	}
+	// The prefetch workers must be gone; give the scheduler a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }

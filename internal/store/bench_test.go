@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -45,12 +46,13 @@ func BenchmarkMemCacheHit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := c.Get(3); err != nil {
+	ctx := context.Background()
+	if _, _, err := c.Get(ctx, 3); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Get(3); err != nil {
+		if _, _, err := c.Get(ctx, 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,9 +64,10 @@ func BenchmarkMemCacheMissWithEviction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Get(grid.BlockID(i % g.NumBlocks())); err != nil {
+		if _, _, err := c.Get(ctx, grid.BlockID(i%g.NumBlocks())); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,11 +1,13 @@
 package store
 
-// MemCache is a byte-budgeted in-memory block cache over a BlockFile,
+// MemCache is a byte-budgeted in-memory block cache over a BlockReader,
 // fronted by any replacement policy. It is the real-I/O counterpart of one
 // memhier level: instead of charging simulated time, it holds actual voxel
-// data and reads misses from disk.
+// data and reads misses from the backing reader — a BlockFile directly, or
+// a faultio.Injector wrapping one.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,7 +17,7 @@ import (
 
 // MemCache caches decoded blocks in memory. Safe for concurrent use.
 type MemCache struct {
-	bf       *BlockFile
+	r        BlockReader
 	capacity int64
 
 	mu     sync.Mutex
@@ -26,12 +28,12 @@ type MemCache struct {
 	hits, misses int64
 }
 
-// NewMemCache wraps the block file with a cache of the given byte capacity
-// and replacement policy. The policy must be empty and is owned by the
-// cache afterwards.
-func NewMemCache(bf *BlockFile, capacity int64, p cache.Policy) (*MemCache, error) {
-	if bf == nil {
-		return nil, fmt.Errorf("store: nil block file")
+// NewMemCache wraps the block reader with a cache of the given byte
+// capacity and replacement policy. The policy must be empty and is owned by
+// the cache afterwards.
+func NewMemCache(r BlockReader, capacity int64, p cache.Policy) (*MemCache, error) {
+	if r == nil {
+		return nil, fmt.Errorf("store: nil block reader")
 	}
 	if capacity <= 0 {
 		return nil, fmt.Errorf("store: capacity %d", capacity)
@@ -40,39 +42,57 @@ func NewMemCache(bf *BlockFile, capacity int64, p cache.Policy) (*MemCache, erro
 		return nil, fmt.Errorf("store: nil policy")
 	}
 	return &MemCache{
-		bf:       bf,
+		r:        r,
 		capacity: capacity,
 		policy:   p,
 		data:     make(map[grid.BlockID][]float32),
 	}, nil
 }
 
-// Get returns the block's voxels, reading from disk on a miss. The returned
-// slice is shared with the cache; callers must not modify it.
-func (c *MemCache) Get(id grid.BlockID) ([]float32, error) {
+// read fetches from the backing reader, honoring ctx when the reader can.
+func (c *MemCache) read(ctx context.Context, id grid.BlockID) ([]float32, error) {
+	if cr, ok := c.r.(ContextBlockReader); ok {
+		return cr.ReadBlockContext(ctx, id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.r.ReadBlock(id)
+}
+
+// Get returns the block's voxels, reading from the backing store on a miss;
+// hit reports which case occurred, so callers can count true backing-store
+// reads. ctx bounds the read (checked up front for hits, passed to the
+// reader for misses). The returned slice is shared with the cache; callers
+// must not modify it.
+func (c *MemCache) Get(ctx context.Context, id grid.BlockID) (vals []float32, hit bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	c.mu.Lock()
 	if vals, ok := c.data[id]; ok {
 		c.hits++
 		c.policy.Touch(id)
 		c.mu.Unlock()
-		return vals, nil
+		return vals, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
 	// Read outside the lock so concurrent misses overlap their disk I/O.
-	vals, err := c.bf.ReadBlock(id)
+	vals, err = c.read(ctx, id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if existing, ok := c.data[id]; ok {
-		// A concurrent reader already installed it; keep theirs.
-		return existing, nil
+		// A concurrent reader already installed it; keep theirs. The
+		// backing store was still read, so this does not count as a hit.
+		return existing, false, nil
 	}
 	c.install(id, vals)
-	return vals, nil
+	return vals, false, nil
 }
 
 // Contains reports whether the block is cached (without touching it).
@@ -85,14 +105,17 @@ func (c *MemCache) Contains(id grid.BlockID) bool {
 
 // Prefetch ensures the block is cached, reading it if needed; unlike Get it
 // does not return the data and never counts as a hit or miss.
-func (c *MemCache) Prefetch(id grid.BlockID) error {
+func (c *MemCache) Prefetch(ctx context.Context, id grid.BlockID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	if _, ok := c.data[id]; ok {
 		c.mu.Unlock()
 		return nil
 	}
 	c.mu.Unlock()
-	vals, err := c.bf.ReadBlock(id)
+	vals, err := c.read(ctx, id)
 	if err != nil {
 		return err
 	}

@@ -8,16 +8,28 @@
 // take"; this package answers "read the actual bytes", so examples and the
 // out-of-core runtime (package ooc) can operate on genuine files written by
 // cmd/datagen or Write.
+//
+// Format versions: v1 files are header + raw block data. v2 (written by
+// Write) inserts a per-block CRC32C table between header and data;
+// ReadBlock verifies the checksum on every read and rejects corrupted
+// blocks with a faultio.ErrChecksum fault. v1 files remain readable,
+// checksum-less. Write is crash-safe: it writes to a temp file in the
+// target directory and renames into place, so an interrupted write never
+// leaves a truncated file at the destination path.
 package store
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/volume"
 )
@@ -25,11 +37,14 @@ import (
 // magic identifies block files; the version guards layout changes.
 const (
 	magic   = 0x62766f6c // "bvol"
-	version = 1
+	version = 2
 )
 
-// headerSize is the fixed byte size of the file header.
+// headerSize is the fixed byte size of the file header. In v2 files it is
+// followed by Blocks uint32 checksums, then block data.
 const headerSize = 4 * 10
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Header describes a block file.
 type Header struct {
@@ -37,6 +52,20 @@ type Header struct {
 	Block    grid.Dims // nominal block extent in voxels
 	Variable int32     // which dataset variable the file holds
 	Blocks   int32     // total block count (redundant, for validation)
+	Version  int32     // on-disk format version (1 or 2)
+}
+
+// BlockReader is the read side of a block store: BlockFile implements it
+// directly, faultio.Injector wraps one, and MemCache fronts one.
+type BlockReader interface {
+	ReadBlock(id grid.BlockID) ([]float32, error)
+}
+
+// ContextBlockReader is optionally implemented by readers whose reads can
+// be cut short by context cancellation (e.g. injected latency or a remote
+// backend). MemCache prefers it when available.
+type ContextBlockReader interface {
+	ReadBlockContext(ctx context.Context, id grid.BlockID) ([]float32, error)
 }
 
 // BlockFile reads blocks from a block-layout file.
@@ -44,53 +73,82 @@ type BlockFile struct {
 	f       *os.File
 	hdr     Header
 	g       *grid.Grid
-	offsets []int64 // byte offset of each block's data
+	offsets []int64  // byte offset of each block's data
+	crcs    []uint32 // per-block CRC32C (nil for v1 files)
 }
 
-// Write materializes one variable of a dataset to path in block layout.
-// Blocks are written in BlockID order, each as little-endian float32 voxels
-// in x-fastest order within the block. Writing streams block by block, so
-// paper-size volumes need only one block of memory.
-func Write(path string, ds *volume.Dataset, g *grid.Grid, variable int) error {
+var _ BlockReader = (*BlockFile)(nil)
+var _ faultio.Checksummer = (*BlockFile)(nil)
+
+// Write materializes one variable of a dataset to path in block layout
+// (format v2, checksummed). Blocks are written in BlockID order, each as
+// little-endian float32 voxels in x-fastest order within the block. Writing
+// streams block by block, so paper-size volumes need only one block of
+// memory. The data goes to a temp file in path's directory and is renamed
+// into place on success, so a failed or interrupted write never leaves a
+// partial file at path.
+func Write(path string, ds *volume.Dataset, g *grid.Grid, variable int) (err error) {
 	if variable < 0 || variable >= ds.Variables {
 		return fmt.Errorf("store: variable %d out of [0,%d)", variable, ds.Variables)
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	hdr := Header{
 		Res:      g.Res(),
 		Block:    g.BlockSize(),
 		Variable: int32(variable),
 		Blocks:   int32(g.NumBlocks()),
+		Version:  version,
 	}
-	if err := writeHeader(w, hdr); err != nil {
-		f.Close()
+	if err = writeHeader(w, hdr); err != nil {
+		return err
+	}
+	// Reserve the checksum table; it is backfilled once the data is known.
+	crcs := make([]byte, 4*g.NumBlocks())
+	if _, err = w.Write(crcs); err != nil {
 		return err
 	}
 	buf := make([]byte, 4)
 	for _, id := range g.All() {
 		vals := ds.BlockSamples(g, id, variable, 0)
+		crc := uint32(0)
 		for _, v := range vals {
 			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
-			if _, err := w.Write(buf); err != nil {
-				f.Close()
+			crc = crc32.Update(crc, castagnoli, buf)
+			if _, err = w.Write(buf); err != nil {
 				return err
 			}
 		}
+		binary.LittleEndian.PutUint32(crcs[4*id:], crc)
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = w.Flush(); err != nil {
 		return err
 	}
-	return f.Close()
+	if _, err = f.WriteAt(crcs, headerSize); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func writeHeader(w io.Writer, h Header) error {
 	fields := []int32{
-		magic, version,
+		magic, h.Version,
 		int32(h.Res.X), int32(h.Res.Y), int32(h.Res.Z),
 		int32(h.Block.X), int32(h.Block.Y), int32(h.Block.Z),
 		h.Variable, h.Blocks,
@@ -103,7 +161,7 @@ func writeHeader(w io.Writer, h Header) error {
 	return nil
 }
 
-// Open opens a block file for random-access block reads.
+// Open opens a block file (v1 or v2) for random-access block reads.
 func Open(path string) (*BlockFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -121,15 +179,16 @@ func Open(path string) (*BlockFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %s is not a block file", path)
 	}
-	if get(1) != version {
+	if v := get(1); v != 1 && v != version {
 		f.Close()
-		return nil, fmt.Errorf("store: unsupported version %d", get(1))
+		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
 	hdr := Header{
 		Res:      grid.Dims{X: int(get(2)), Y: int(get(3)), Z: int(get(4))},
 		Block:    grid.Dims{X: int(get(5)), Y: int(get(6)), Z: int(get(7))},
 		Variable: get(8),
 		Blocks:   get(9),
+		Version:  get(1),
 	}
 	g, err := grid.New(hdr.Res, hdr.Block)
 	if err != nil {
@@ -142,8 +201,20 @@ func Open(path string) (*BlockFile, error) {
 			hdr.Blocks, g.NumBlocks())
 	}
 	bf := &BlockFile{f: f, hdr: hdr, g: g}
-	bf.offsets = make([]int64, g.NumBlocks()+1)
 	off := int64(headerSize)
+	if hdr.Version >= 2 {
+		table := make([]byte, 4*g.NumBlocks())
+		if _, err := io.ReadFull(f, table); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: short checksum table: %v", err)
+		}
+		bf.crcs = make([]uint32, g.NumBlocks())
+		for i := range bf.crcs {
+			bf.crcs[i] = binary.LittleEndian.Uint32(table[4*i:])
+		}
+		off += int64(len(table))
+	}
+	bf.offsets = make([]int64, g.NumBlocks()+1)
 	for _, id := range g.All() {
 		bf.offsets[id] = off
 		off += g.VoxelCount(id) * 4
@@ -173,16 +244,34 @@ func (bf *BlockFile) BlockBytes(id grid.BlockID) int64 {
 	return bf.offsets[int(id)+1] - bf.offsets[id]
 }
 
-// ReadBlock reads one block's voxels. The returned slice is freshly
-// allocated and owned by the caller. Safe for concurrent use (ReadAt).
+// BlockChecksum returns the stored CRC32C of a block, and whether the file
+// carries checksums (v2). It implements faultio.Checksummer.
+func (bf *BlockFile) BlockChecksum(id grid.BlockID) (uint32, bool) {
+	if bf.crcs == nil || int(id) < 0 || int(id) >= len(bf.crcs) {
+		return 0, false
+	}
+	return bf.crcs[id], true
+}
+
+// ReadBlock reads one block's voxels, verifying its checksum on v2 files. A
+// mismatch is reported as a permanent faultio.ErrChecksum fault: the bytes
+// on disk are rotten and rereading cannot help. The returned slice is
+// freshly allocated and owned by the caller. Safe for concurrent use
+// (ReadAt).
 func (bf *BlockFile) ReadBlock(id grid.BlockID) ([]float32, error) {
 	if int(id) < 0 || int(id) >= bf.g.NumBlocks() {
-		return nil, fmt.Errorf("store: block %d out of range", id)
+		return nil, fmt.Errorf("store: block %d out of range: %w", id, faultio.ErrPermanent)
 	}
 	n := bf.BlockBytes(id)
 	raw := make([]byte, n)
 	if _, err := bf.f.ReadAt(raw, bf.offsets[id]); err != nil {
 		return nil, fmt.Errorf("store: block %d: %v", id, err)
+	}
+	if bf.crcs != nil {
+		if got := crc32.Checksum(raw, castagnoli); got != bf.crcs[id] {
+			return nil, fmt.Errorf("store: block %d: crc 0x%08x, want 0x%08x: %w",
+				id, got, bf.crcs[id], faultio.Permanent(faultio.ErrChecksum))
+		}
 	}
 	vals := make([]float32, n/4)
 	for i := range vals {

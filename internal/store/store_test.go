@@ -1,12 +1,18 @@
 package store
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/volume"
 )
@@ -36,10 +42,14 @@ func TestWriteOpenRoundTrip(t *testing.T) {
 	if hdr.Res != g.Res() || hdr.Block != g.BlockSize() {
 		t.Errorf("header = %+v", hdr)
 	}
+	if hdr.Version != 2 {
+		t.Errorf("Write produced version %d, want 2", hdr.Version)
+	}
 	if bf.Grid().NumBlocks() != g.NumBlocks() {
 		t.Errorf("blocks = %d", bf.Grid().NumBlocks())
 	}
-	// Every block's data must match the dataset's direct samples.
+	// Every block's data must match the dataset's direct samples, and every
+	// block must carry a checksum.
 	for _, id := range g.All() {
 		got, err := bf.ReadBlock(id)
 		if err != nil {
@@ -54,6 +64,9 @@ func TestWriteOpenRoundTrip(t *testing.T) {
 				t.Fatalf("block %d differs at %d: %g vs %g", id, i, got[i], want[i])
 			}
 		}
+		if _, ok := bf.BlockChecksum(id); !ok {
+			t.Fatalf("block %d: no checksum in v2 file", id)
+		}
 	}
 }
 
@@ -62,6 +75,154 @@ func TestWriteRejectsBadVariable(t *testing.T) {
 	g, _ := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
 	if err := Write(filepath.Join(t.TempDir(), "x"), ds, g, 5); err == nil {
 		t.Error("bad variable accepted")
+	}
+}
+
+func TestWriteAtomic(t *testing.T) {
+	ds := volume.Ball().Scale(1.0 / 32)
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.bvol")
+	if err := Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	// No temp-file debris after a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Errorf("dir holds %d entries, want 1", len(ents))
+	}
+	// Rewriting an existing path replaces it with a complete file.
+	if err := Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	// A failed write (unwritable directory) leaves nothing at the target.
+	missingDir := filepath.Join(dir, "nonexistent")
+	bad := filepath.Join(missingDir, "b.bvol")
+	if err := Write(bad, ds, g, 0); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Errorf("partial file left at %s", bad)
+	}
+}
+
+// writeV1File lays out a version-1 file (no checksum table) byte by byte,
+// the way the pre-v2 Write did, to prove backward compatibility.
+func writeV1File(t *testing.T, path string, ds *volume.Dataset, g *grid.Grid) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr := Header{
+		Res: g.Res(), Block: g.BlockSize(),
+		Variable: 0, Blocks: int32(g.NumBlocks()), Version: 1,
+	}
+	if err := writeHeader(f, hdr); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	for _, id := range g.All() {
+		for _, v := range ds.BlockSamples(g, id, 0, 0) {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := f.Write(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestOpenReadsV1Files(t *testing.T) {
+	ds := volume.Ball().Scale(1.0 / 32)
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v1.bvol")
+	writeV1File(t, path, ds, g)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	if bf.Header().Version != 1 {
+		t.Fatalf("version = %d, want 1", bf.Header().Version)
+	}
+	if _, ok := bf.BlockChecksum(0); ok {
+		t.Error("v1 file claims checksums")
+	}
+	for _, id := range g.All() {
+		got, err := bf.ReadBlock(id)
+		if err != nil {
+			t.Fatalf("block %d: %v", id, err)
+		}
+		want := ds.BlockSamples(g, id, 0, 0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d differs at %d", id, i)
+			}
+		}
+	}
+}
+
+// TestOpenMalformed table-drives Open over corrupted variants of a valid
+// file: truncated headers, bad magic, unknown versions, inconsistent block
+// counts, and short checksum/data sections.
+func TestOpenMalformed(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crcTable := 4 * g.NumBlocks()
+	setField := func(b []byte, i int, v int32) []byte {
+		out := append([]byte(nil), b...)
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", raw[:headerSize/2]},
+		{"header only", raw[:headerSize]},
+		{"bad magic", setField(raw, 0, 0x12345678)},
+		{"unknown version", setField(raw, 1, 99)},
+		{"zero version", setField(raw, 1, 0)},
+		{"block count mismatch", setField(raw, 9, int32(g.NumBlocks()+1))},
+		{"zero resolution", setField(raw, 2, 0)},
+		{"short checksum table", raw[:headerSize+crcTable/2]},
+		{"short data", raw[:len(raw)-len(raw)/4]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "bad.bvol")
+			if err := os.WriteFile(p, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if bf, err := Open(p); err == nil {
+				bf.Close()
+				t.Error("malformed file accepted")
+			}
+		})
 	}
 }
 
@@ -79,18 +240,39 @@ func TestOpenRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestOpenRejectsTruncated(t *testing.T) {
-	path, _, _ := writeTestFile(t)
+// TestChecksumRejectsBitFlip proves the v2 round trip: a single flipped bit
+// anywhere in a block's data section fails that block's read with a
+// checksum fault while other blocks stay readable.
+func TestChecksumRejectsBitFlip(t *testing.T) {
+	path, _, g := writeTestFile(t)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	trunc := filepath.Join(t.TempDir(), "trunc.bvol")
-	if err := os.WriteFile(trunc, raw[:len(raw)/2], 0o644); err != nil {
+	// Flip one bit in the middle of block 0's data.
+	dataStart := headerSize + 4*g.NumBlocks()
+	raw[dataStart+17] ^= 0x08
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(trunc); err == nil {
-		t.Error("truncated file accepted")
+	bf, err := Open(path) // size is intact, so Open succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	_, err = bf.ReadBlock(0)
+	if err == nil {
+		t.Fatal("bit-flipped block read succeeded")
+	}
+	if !errors.Is(err, faultio.ErrChecksum) {
+		t.Errorf("error %v is not a checksum fault", err)
+	}
+	if faultio.Retryable(err) {
+		t.Error("on-disk corruption classified retryable")
+	}
+	// Undamaged blocks still verify and read.
+	if _, err := bf.ReadBlock(1); err != nil {
+		t.Errorf("clean block rejected: %v", err)
 	}
 }
 
@@ -101,8 +283,12 @@ func TestReadBlockOutOfRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bf.Close()
-	if _, err := bf.ReadBlock(grid.BlockID(g.NumBlocks())); err == nil {
+	_, err = bf.ReadBlock(grid.BlockID(g.NumBlocks()))
+	if err == nil {
 		t.Error("out-of-range block accepted")
+	}
+	if faultio.Retryable(err) {
+		t.Error("out-of-range error classified retryable")
 	}
 	if _, err := bf.ReadBlock(-1); err == nil {
 		t.Error("negative block accepted")
@@ -147,16 +333,17 @@ func TestMemCacheHitMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bf.Close()
+	ctx := context.Background()
 	blockBytes := bf.BlockBytes(0)
 	c, err := NewMemCache(bf, 4*blockBytes, cache.NewLRU())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get(1); err != nil {
-		t.Fatal(err)
+	if _, hit, err := c.Get(ctx, 1); err != nil || hit {
+		t.Fatalf("cold Get: hit=%v err=%v", hit, err)
 	}
-	if _, err := c.Get(1); err != nil {
-		t.Fatal(err)
+	if _, hit, err := c.Get(ctx, 1); err != nil || !hit {
+		t.Fatalf("warm Get: hit=%v err=%v", hit, err)
 	}
 	hits, misses := c.Stats()
 	if hits != 1 || misses != 1 {
@@ -167,14 +354,33 @@ func TestMemCacheHitMiss(t *testing.T) {
 	}
 }
 
+func TestMemCacheContextCanceled(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	c, _ := NewMemCache(bf, 4*bf.BlockBytes(0), cache.NewLRU())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Get(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Get with canceled ctx: %v", err)
+	}
+	if err := c.Prefetch(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Prefetch with canceled ctx: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Error("canceled reads populated the cache")
+	}
+}
+
 func TestMemCacheEviction(t *testing.T) {
 	path, _, _ := writeTestFile(t)
 	bf, _ := Open(path)
 	defer bf.Close()
+	ctx := context.Background()
 	blockBytes := bf.BlockBytes(0)
 	c, _ := NewMemCache(bf, 3*blockBytes, cache.NewLRU())
 	for id := grid.BlockID(0); id < 6; id++ {
-		if _, err := c.Get(id); err != nil {
+		if _, _, err := c.Get(ctx, id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -196,8 +402,9 @@ func TestMemCachePrefetch(t *testing.T) {
 	path, _, _ := writeTestFile(t)
 	bf, _ := Open(path)
 	defer bf.Close()
+	ctx := context.Background()
 	c, _ := NewMemCache(bf, 16*bf.BlockBytes(0), cache.NewLRU())
-	if err := c.Prefetch(2); err != nil {
+	if err := c.Prefetch(ctx, 2); err != nil {
 		t.Fatal(err)
 	}
 	if !c.Contains(2) {
@@ -208,8 +415,8 @@ func TestMemCachePrefetch(t *testing.T) {
 		t.Error("prefetch perturbed stats")
 	}
 	// Subsequent Get hits.
-	if _, err := c.Get(2); err != nil {
-		t.Fatal(err)
+	if _, hit, err := c.Get(ctx, 2); err != nil || !hit {
+		t.Fatalf("post-prefetch Get: hit=%v err=%v", hit, err)
 	}
 	if h, _ := c.Stats(); h != 1 {
 		t.Error("post-prefetch Get not a hit")
@@ -236,6 +443,7 @@ func TestMemCacheConcurrentAccess(t *testing.T) {
 	bf, _ := Open(path)
 	defer bf.Close()
 	c, _ := NewMemCache(bf, 8*bf.BlockBytes(0), cache.NewLRU())
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
 	for w := 0; w < 8; w++ {
@@ -244,7 +452,7 @@ func TestMemCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				id := grid.BlockID((seed*7 + i*13) % g.NumBlocks())
-				if _, err := c.Get(id); err != nil {
+				if _, _, err := c.Get(ctx, id); err != nil {
 					errs <- err
 					return
 				}
@@ -267,10 +475,31 @@ func TestMemCacheOversizedBlockUncached(t *testing.T) {
 	defer bf.Close()
 	// Capacity below one block: every Get succeeds but nothing caches.
 	c, _ := NewMemCache(bf, bf.BlockBytes(0)-1, cache.NewLRU())
-	if _, err := c.Get(0); err != nil {
+	if _, _, err := c.Get(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Len() != 0 {
 		t.Error("oversized block cached")
+	}
+}
+
+// TestMemCacheOverInjector wires the full fault stack: cache over injector
+// over file. Transient injected failures surface from Get (the retry
+// policy lives above, in ooc), and injected latency respects ctx deadlines.
+func TestMemCacheOverInjector(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, _ := Open(path)
+	defer bf.Close()
+	inj := faultio.NewInjector(bf, faultio.InjectorConfig{Seed: 42, FailRate: 1})
+	c, err := NewMemCache(inj, 8*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Get(context.Background(), 0)
+	if err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	if !faultio.Retryable(err) {
+		t.Errorf("transient injected failure not retryable: %v", err)
 	}
 }
