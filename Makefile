@@ -1,12 +1,16 @@
-# Pre-PR checks. `make check` is the gate: vet, build, full tests, and the
-# race detector over the concurrent real-I/O packages.
+# Pre-PR checks. `make check` is the gate: vet, build, full tests, the race
+# detector over the concurrent real-I/O packages, and a one-iteration bench
+# smoke so benchmark code can't rot.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/...
 
-.PHONY: check vet build test race bench
+# The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
+BENCH_PKGS := ./internal/ooc/... ./internal/store/...
 
-check: vet build test race
+.PHONY: check vet build test race bench bench-all bench-smoke
+
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +24,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# bench records the tracked hot-path numbers to results/BENCH_ooc.json (and
+# echoes the raw output). Commit the JSON when the numbers move.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -out results/BENCH_ooc.json
+
+# bench-all runs every benchmark in the repo without recording.
+bench-all:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-smoke compiles and runs every tracked benchmark for one iteration:
+# fast enough for the check gate, enough to catch bit-rotted bench code.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' $(BENCH_PKGS) >/dev/null

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// results file, so benchmark numbers can be committed and diffed across PRs
+// instead of living in terminal scrollback.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/ooc/... | benchjson -out results/BENCH_ooc.json
+//
+// Non-benchmark lines (package headers, PASS/ok, warmup noise) are ignored,
+// so the raw `go test` stream can be piped straight through. The input is
+// also echoed to stdout so the pipeline stays readable in a terminal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`               // e.g. BenchmarkFrame-8
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`  // -benchmem
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"` // -benchmem
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`    // b.SetBytes
+}
+
+// File is the on-disk document.
+type File struct {
+	GoVersion string   `json:"go_version,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	doc := File{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		} else if v, ok := strings.CutPrefix(line, "goversion: "); ok {
+			doc.GoVersion = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFrame-8   21964   54675 ns/op   11212 B/op   149 allocs/op
+//	BenchmarkHistogramAddAll-8   245190   4892 ns/op   3348.92 MB/s
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+			seen = err == nil
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "MB/s":
+			r.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		}
+	}
+	return r, seen
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFrame-8   \t   21964\t     54675 ns/op\t   11212 B/op\t     149 allocs/op")
+	if !ok {
+		t.Fatal("full -benchmem line rejected")
+	}
+	want := Result{Name: "BenchmarkFrame-8", Iterations: 21964, NsPerOp: 54675, BytesPerOp: 11212, AllocsPerOp: 149}
+	if r != want {
+		t.Errorf("got %+v, want %+v", r, want)
+	}
+
+	r, ok = parseLine("BenchmarkHistogramAddAll-8   245190   4892 ns/op   3348.92 MB/s")
+	if !ok {
+		t.Fatal("MB/s line rejected")
+	}
+	if r.MBPerSec != 3348.92 || r.NsPerOp != 4892 {
+		t.Errorf("got %+v", r)
+	}
+
+	for _, bad := range []string{
+		"ok  \trepro/internal/ooc\t2.463s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("accepted non-benchmark line %q", bad)
+		}
+	}
+}

@@ -211,6 +211,9 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	if err != nil {
 		return err
 	}
+	// The simulation drops frame data as soon as counters are tallied, so
+	// evicted decode buffers can be recycled safely.
+	mc.EnableRecycling()
 	imp := entropy.Build(ds, g, entropy.Options{})
 	nAz, nEl, nDist := visibility.LatticeForTotal(25920, 10)
 	vis, err := visibility.NewTable(g, visibility.Options{
@@ -251,9 +254,16 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	fmt.Printf("frames             %d in %v wall clock\n", st.Frames, elapsed.Round(time.Millisecond))
 	fmt.Printf("cache              %d hits / %d misses (hit rate %.4f)\n",
 		hits, misses, float64(hits)/float64(maxI64(hits+misses, 1)))
-	fmt.Printf("demand             %d store reads, %d memory hits\n", st.DemandReads, st.DemandHits)
-	fmt.Printf("prefetch           %d issued, %d executed, %d failed, %d dropped\n",
-		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
+	fmt.Printf("demand             %d store reads, %d memory hits, %d miss batches\n",
+		st.DemandReads, st.DemandHits, st.DemandBatches)
+	cc := mc.Counters()
+	fmt.Printf("coalesced          %d duplicate in-flight requests merged, %d buffers recycled\n",
+		cc.Coalesced, cc.Recycled)
+	ios := bf.IOStats()
+	fmt.Printf("block file         %d blocks served, %d batches (%d batched blocks in %d merged runs), %d/%d decode bufs reused\n",
+		ios.Reads, ios.Batches, ios.BatchBlocks, ios.MergedRuns, ios.BufReuses, ios.BufGets)
+	fmt.Printf("prefetch           %d issued, %d deduped, %d executed, %d failed, %d dropped\n",
+		st.PrefetchIssued, st.PrefetchDeduped, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
 	fmt.Printf("retries            %d extra read attempts absorbed\n", st.Retries)
 	fmt.Printf("checksum rejects   %d\n", st.ChecksumErrors)
 	fmt.Printf("degraded frames    %d of %d (%d blocks lost)\n", st.DegradedFrames, st.Frames, missing)

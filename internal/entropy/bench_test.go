@@ -29,6 +29,20 @@ func BenchmarkShannon(b *testing.B) {
 	}
 }
 
+func BenchmarkHistogramAddAll(b *testing.B) {
+	rng := field.NewRand(7)
+	vals := make([]float32, 4096)
+	for i := range vals {
+		vals[i] = float32(rng.Float64())
+	}
+	h := NewHistogram(64, 0, 1)
+	b.SetBytes(int64(len(vals) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddAll(vals)
+	}
+}
+
 func BenchmarkBlockEntropy(b *testing.B) {
 	rng := field.NewRand(1)
 	vals := make([]float32, 512)

@@ -69,10 +69,27 @@ func (h *Histogram) Add(v float64) {
 	h.Counts[i]++
 }
 
-// AddAll records every value in vals.
+// AddAll records every value in vals. The binning loop is inlined with the
+// range constants hoisted into one reciprocal multiply — no per-voxel
+// method call, field loads, or division. This runs once per voxel of every
+// scored block, so it is the hottest loop of T_important construction.
+// Binning may differ from Add by one bin for values within a ULP of an
+// exact bin boundary (multiply-by-reciprocal vs divide rounding); both are
+// valid binnings of such a value and the entropy score is insensitive to
+// it.
 func (h *Histogram) AddAll(vals []float32) {
+	counts := h.Counts
+	bins := len(counts)
+	min := h.Min
+	inv := float64(bins) / (h.Max - h.Min)
 	for _, v := range vals {
-		h.Add(float64(v))
+		i := int((float64(v) - min) * inv)
+		if i < 0 {
+			i = 0
+		} else if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
 	}
 }
 

@@ -333,3 +333,29 @@ func TestRankingPermutationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAddAllMatchesAdd pins the hand-inlined batch binning against the
+// scalar path on fixed-seed random values: every value must land in the same
+// bin (or, at an exact boundary, an adjacent one — which the histogram total
+// and a bin-by-bin tolerance of 0 detect anyway for random inputs).
+func TestAddAllMatchesAdd(t *testing.T) {
+	rng := field.NewRand(123)
+	vals := make([]float32, 4096)
+	for i := range vals {
+		vals[i] = float32(rng.Float64())
+	}
+	ha := NewHistogram(64, 0, 1)
+	hb := NewHistogram(64, 0, 1)
+	ha.AddAll(vals)
+	for _, v := range vals {
+		hb.Add(float64(v))
+	}
+	if ha.Total() != hb.Total() {
+		t.Fatalf("totals differ: %d vs %d", ha.Total(), hb.Total())
+	}
+	for i := range ha.Counts {
+		if ha.Counts[i] != hb.Counts[i] {
+			t.Fatalf("bin %d: AddAll=%d Add=%d", i, ha.Counts[i], hb.Counts[i])
+		}
+	}
+}

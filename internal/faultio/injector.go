@@ -58,10 +58,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // interface the MemCache prefers, so injected latency can be cut short by
 // per-read deadlines. Safe for concurrent use.
 type Injector struct {
-	r    BlockReader
-	cfg  InjectorConfig
-	ck   Checksummer // non-nil when r stores checksums
-	fail map[grid.BlockID]bool
+	r     BlockReader
+	cfg   InjectorConfig
+	ck    Checksummer // non-nil when r stores checksums
+	fail  map[grid.BlockID]bool
+	batch batchBlockReader // non-nil when r supports batched reads
+	inert bool             // config injects nothing: batches may pass through
 
 	mu    sync.Mutex
 	seq   map[grid.BlockID]uint64 // per-block read counter
@@ -76,6 +78,11 @@ func NewInjector(r BlockReader, cfg InjectorConfig) *Injector {
 	if ck, ok := r.(Checksummer); ok {
 		in.ck = ck
 	}
+	if br, ok := r.(batchBlockReader); ok {
+		in.batch = br
+	}
+	in.inert = cfg.FailRate == 0 && cfg.CorruptRate == 0 &&
+		cfg.Latency == 0 && cfg.LatencyJitter == 0 && len(cfg.FailBlocks) == 0
 	if len(cfg.FailBlocks) > 0 {
 		in.fail = make(map[grid.BlockID]bool, len(cfg.FailBlocks))
 		for _, id := range cfg.FailBlocks {
@@ -88,6 +95,43 @@ func NewInjector(r BlockReader, cfg InjectorConfig) *Injector {
 // ReadBlock implements BlockReader.
 func (in *Injector) ReadBlock(id grid.BlockID) ([]float32, error) {
 	return in.ReadBlockContext(context.Background(), id)
+}
+
+// batchBlockReader mirrors the store package's BatchBlockReader without
+// importing it (store already imports faultio).
+type batchBlockReader interface {
+	ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error)
+}
+
+// ReadBlocks serves a batch with per-block results. With any fault
+// configured it splits the batch into individual reads: every block gets
+// its own fault draw, latency, and error, exactly as if it had been read
+// alone — batching upstream must never change fault semantics. (The
+// underlying store's merged sequential reads are deliberately forfeited
+// then; injection means testing, where per-block determinism matters more
+// than I/O merging.) A zero config injects nothing, so an injector left in
+// the stack permanently forwards batches intact and keeps the merged-I/O
+// fast path. It implements the store package's BatchBlockReader.
+func (in *Injector) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
+	if in.inert && in.batch != nil {
+		in.count(func(s *InjectorStats) { s.Reads += int64(len(ids)) })
+		return in.batch.ReadBlocks(ctx, ids)
+	}
+	vals := make([][]float32, len(ids))
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		vals[i], errs[i] = in.ReadBlockContext(ctx, id)
+	}
+	return vals, errs
+}
+
+// RecycleBlockBuf forwards decode-buffer recycling to the underlying reader
+// when it supports it, so an injector in the stack does not defeat buffer
+// reuse. It implements the store package's BlockBufRecycler.
+func (in *Injector) RecycleBlockBuf(vals []float32) {
+	if rec, ok := in.r.(interface{ RecycleBlockBuf([]float32) }); ok {
+		rec.RecycleBlockBuf(vals)
+	}
 }
 
 // ReadBlockContext reads the block, applying the configured fault mix. The

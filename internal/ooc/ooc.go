@@ -2,9 +2,16 @@
 // stated future work (§VI): parallel data fetching overlapped with
 // rendering. It combines the file-backed block store (package store) with
 // the prediction tables (packages visibility and entropy): each frame's
-// visible blocks are fetched by a bounded worker pool, and the vicinity's
-// predicted high-entropy blocks are prefetched asynchronously by background
-// workers while the caller renders.
+// visible blocks are fetched by a persistent worker pool, and the
+// vicinity's predicted high-entropy blocks are prefetched asynchronously by
+// background workers while the caller renders.
+//
+// The demand hot path is built to do exactly one backing-store read per
+// needed block with near-zero steady-state overhead: cache hits are served
+// inline without touching a worker, misses are partitioned into
+// offset-contiguous batches that the store merges into sequential I/O, and
+// concurrent demand/prefetch requests for the same block coalesce onto a
+// single read inside the cache.
 //
 // Unlike package sim — which measures a simulated hierarchy on a virtual
 // clock — this package moves actual bytes; it is the runtime an application
@@ -35,8 +42,8 @@ import (
 
 // Options configures the runtime.
 type Options struct {
-	// DemandWorkers bounds concurrent demand reads per frame (default
-	// GOMAXPROCS).
+	// DemandWorkers sizes the persistent demand pool: the maximum number of
+	// concurrent miss batches/retries per runtime (default GOMAXPROCS).
 	DemandWorkers int
 	// PrefetchWorkers bounds background prefetch goroutines (default 2).
 	PrefetchWorkers int
@@ -45,10 +52,13 @@ type Options struct {
 	QueueDepth int
 	// Sigma is the entropy threshold for prefetch candidates.
 	Sigma float64
-	// Retry is the policy for demand reads. Nil gets the default: 4
-	// attempts, 1ms base backoff doubling to a 50ms cap, with ReadDeadline
-	// as the per-attempt deadline. Set MaxAttempts to 1 to disable
-	// retries.
+	// Retry is the policy for demand reads: a block's first attempt rides
+	// the frame's batch read; a retryable failure then re-reads it
+	// individually under this policy, whose MaxAttempts counts the batch
+	// attempt (so a block is read at most MaxAttempts times in total). Nil
+	// gets the default: 4 attempts, 1ms base backoff doubling to a 50ms
+	// cap, with ReadDeadline as the per-attempt deadline. Set MaxAttempts
+	// to 1 to disable retries.
 	Retry *faultio.Retrier
 	// ReadDeadline bounds each demand-read attempt when Retry is nil
 	// (0 = no per-read deadline).
@@ -80,13 +90,15 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	Frames         int64
 	DemandReads    int64 // demand misses that actually read the backing store
-	DemandHits     int64 // demand reads served from cache memory
+	DemandHits     int64 // demand reads served from cache memory (incl. coalesced)
+	DemandBatches  int64 // miss batches dispatched to the demand pool
 	DegradedFrames int64 // frames that completed with at least one block missing
 	FailedReads    int64 // demand reads lost after exhausting retries
 	Retries        int64 // extra demand-read attempts beyond the first
 	ChecksumErrors int64 // demand-read attempts rejected by checksum verification
 
-	PrefetchIssued   int64
+	PrefetchIssued   int64 // unique blocks enqueued for prefetch
+	PrefetchDeduped  int64 // predictions skipped because already queued/in flight
 	PrefetchDropped  int64
 	PrefetchExecuted int64
 	PrefetchFailed   int64
@@ -111,34 +123,45 @@ type FrameReport struct {
 
 // Runtime drives a block cache with parallel demand fetching and
 // asynchronous predictive prefetching. Safe for use by one interactive
-// loop; Close must be called to stop the prefetch workers.
+// loop; Close must be called to stop the worker pools.
 type Runtime struct {
 	cache *store.MemCache
 	vis   *visibility.Table
 	imp   *entropy.Table
 	opts  Options
+	// retryAfter re-reads a block whose batch attempt failed; it is
+	// opts.Retry minus the attempt the batch already spent.
+	retryAfter *faultio.Retrier
 
-	// mu serializes prefetch enqueues against Close so a late Frame never
-	// sends on a closed channel.
+	// mu serializes demand/prefetch enqueues against Close so a late Frame
+	// never sends on a closed channel.
 	mu         sync.RWMutex
+	demandCh   chan *demandJob
 	prefetchCh chan grid.BlockID
 	wg         sync.WaitGroup
 	closed     atomic.Bool
 
+	// queued tracks blocks sitting in prefetchCh or being prefetched right
+	// now, so consecutive frames don't enqueue the same prediction twice.
+	queuedMu sync.Mutex
+	queued   map[grid.BlockID]struct{}
+
 	frames           atomic.Int64
 	demandReads      atomic.Int64
 	demandHits       atomic.Int64
+	demandBatches    atomic.Int64
 	degradedFrames   atomic.Int64
 	failedReads      atomic.Int64
 	retries          atomic.Int64
 	checksumErrors   atomic.Int64
 	prefetchIssued   atomic.Int64
+	prefetchDeduped  atomic.Int64
 	prefetchDropped  atomic.Int64
 	prefetchExecuted atomic.Int64
 	prefetchFailed   atomic.Int64
 }
 
-// New starts the runtime's prefetch workers.
+// New starts the runtime's demand and prefetch workers.
 func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts Options) (*Runtime, error) {
 	if cache == nil || vis == nil || imp == nil {
 		return nil, fmt.Errorf("ooc: nil component")
@@ -149,7 +172,28 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 		vis:        vis,
 		imp:        imp,
 		opts:       opts,
+		demandCh:   make(chan *demandJob, opts.DemandWorkers),
 		prefetchCh: make(chan grid.BlockID, opts.QueueDepth),
+		queued:     make(map[grid.BlockID]struct{}),
+	}
+	if n := opts.Retry.MaxAttempts - 1; n > 0 {
+		r.retryAfter = &faultio.Retrier{
+			MaxAttempts: n,
+			BaseDelay:   opts.Retry.BaseDelay,
+			MaxDelay:    opts.Retry.MaxDelay,
+			PerTry:      opts.Retry.PerTry,
+			Seed:        opts.Retry.Seed,
+		}
+	}
+	for w := 0; w < opts.DemandWorkers; w++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for job := range r.demandCh {
+				job.run()
+				job.fs.wg.Done()
+			}
+		}()
 	}
 	for w := 0; w < opts.PrefetchWorkers; w++ {
 		r.wg.Add(1)
@@ -158,26 +202,140 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 			for id := range r.prefetchCh {
 				// Best-effort, single attempt: a failed prefetch only
 				// means the block will be demand-read (with retries)
-				// later.
+				// later. The cache coalesces this with any concurrent
+				// demand read of the same block.
 				if err := r.cache.Prefetch(context.Background(), id); err == nil {
 					r.prefetchExecuted.Add(1)
 				} else {
 					r.prefetchFailed.Add(1)
 				}
+				r.queuedMu.Lock()
+				delete(r.queued, id)
+				r.queuedMu.Unlock()
 			}
 		}()
 	}
 	return r, nil
 }
 
-// Frame fetches every visible block (in parallel, retrying transient
-// faults) and returns their voxel data indexed like visible. Blocks whose
-// reads fail permanently are returned as nil entries and named in the
-// FrameReport — the frame degrades rather than fails. The error return is
-// reserved for frame-level conditions: a closed runtime or a done ctx.
-// Before returning, Frame enqueues asynchronous prefetches for the camera
-// vicinity's predicted high-entropy blocks, which proceed while the caller
-// renders the returned data.
+// frameState is the shared context of one Frame's demand jobs.
+type frameState struct {
+	ctx context.Context
+	r   *Runtime
+	out [][]float32
+
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	rep *FrameReport
+}
+
+// demandJob is one offset-contiguous chunk of a frame's miss set: a batch
+// read through the cache (which coalesces with concurrent readers and
+// merges adjacent blocks into sequential I/O), followed by per-block
+// retries for this chunk's retryable failures.
+type demandJob struct {
+	fs   *frameState
+	ids  []grid.BlockID
+	idxs []int // ids[k] fills fs.out[idxs[k]]
+}
+
+func (j *demandJob) run() {
+	fs, r := j.fs, j.fs.r
+	r.demandBatches.Add(1)
+	vals, hits, errs := r.cache.GetBatch(fs.ctx, j.ids)
+	for k := range j.ids {
+		switch {
+		case errs[k] == nil:
+			fs.out[j.idxs[k]] = vals[k]
+			if hits[k] {
+				r.demandHits.Add(1)
+			} else {
+				r.demandReads.Add(1)
+			}
+		default:
+			if errors.Is(errs[k], faultio.ErrChecksum) {
+				r.checksumErrors.Add(1)
+			}
+			j.retryBlock(k, errs[k])
+		}
+	}
+}
+
+// retryBlock re-reads one block whose batch attempt failed, under the
+// runtime's retry policy, and settles its final state (served, canceled, or
+// missing).
+func (j *demandJob) retryBlock(k int, batchErr error) {
+	fs, r := j.fs, j.fs.r
+	id, idx := j.ids[k], j.idxs[k]
+	err := batchErr
+	attempts := 0
+	if r.retryAfter != nil && fs.ctx.Err() == nil && faultio.Retryable(batchErr) {
+		attempts, err = r.retryAfter.Do(fs.ctx, func(c context.Context) error {
+			vals, hit, e := r.cache.Get(c, id)
+			if e != nil {
+				if errors.Is(e, faultio.ErrChecksum) {
+					r.checksumErrors.Add(1)
+				}
+				return e
+			}
+			fs.out[idx] = vals
+			if hit {
+				r.demandHits.Add(1)
+			} else {
+				r.demandReads.Add(1)
+			}
+			return nil
+		})
+		// Every attempt here is beyond the block's first (batch) attempt.
+		r.retries.Add(int64(attempts))
+	}
+	switch {
+	case err == nil:
+		fs.mu.Lock()
+		fs.rep.Retried++
+		fs.mu.Unlock()
+	case fs.ctx.Err() != nil:
+		// Frame-level cancellation, reported by Frame itself; not a
+		// storage loss.
+	default:
+		r.failedReads.Add(1)
+		fs.mu.Lock()
+		if fs.rep.Failures == nil {
+			fs.rep.Failures = make(map[grid.BlockID]error)
+		}
+		fs.rep.Missing = append(fs.rep.Missing, id)
+		fs.rep.Failures[id] = err
+		fs.mu.Unlock()
+	}
+}
+
+// dispatch hands a job to the demand pool, or runs it inline when the
+// runtime is closing (frames already in flight still complete). The read
+// lock fences against Close closing the channel mid-send.
+func (r *Runtime) dispatch(job *demandJob) {
+	job.fs.wg.Add(1)
+	r.mu.RLock()
+	if r.closed.Load() {
+		r.mu.RUnlock()
+		job.run()
+		job.fs.wg.Done()
+		return
+	}
+	r.demandCh <- job
+	r.mu.RUnlock()
+}
+
+// Frame fetches every visible block and returns their voxel data indexed
+// like visible. Cache hits are served inline; misses are sorted by block ID
+// (file order), split into at most DemandWorkers contiguous batches, and
+// read by the persistent demand pool — the store merges each batch's
+// adjacent blocks into sequential reads, and transient faults are retried
+// per block. Blocks whose reads fail permanently are returned as nil
+// entries and named in the FrameReport — the frame degrades rather than
+// fails. The error return is reserved for frame-level conditions: a closed
+// runtime or a done ctx. Before returning, Frame enqueues asynchronous
+// prefetches for the camera vicinity's predicted high-entropy blocks, which
+// proceed while the caller renders the returned data.
 func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID) ([][]float32, FrameReport, error) {
 	var rep FrameReport
 	if r.closed.Load() {
@@ -188,59 +346,48 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	}
 	r.frames.Add(1)
 	out := make([][]float32, len(visible))
-	var (
-		wg    sync.WaitGroup
-		repMu sync.Mutex
-	)
-	sem := make(chan struct{}, r.opts.DemandWorkers)
+
+	// Inline fast path: serve every warm block without touching a worker.
+	var missIdx []int
 	for i, id := range visible {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, id grid.BlockID) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			attempts, err := r.opts.Retry.Do(ctx, func(c context.Context) error {
-				vals, hit, e := r.cache.Get(c, id)
-				if e != nil {
-					if errors.Is(e, faultio.ErrChecksum) {
-						r.checksumErrors.Add(1)
-					}
-					return e
-				}
-				out[i] = vals
-				if hit {
-					r.demandHits.Add(1)
-				} else {
-					r.demandReads.Add(1)
-				}
-				return nil
-			})
-			if attempts > 1 {
-				r.retries.Add(int64(attempts - 1))
-			}
-			switch {
-			case err == nil:
-				if attempts > 1 {
-					repMu.Lock()
-					rep.Retried++
-					repMu.Unlock()
-				}
-			case ctx.Err() != nil:
-				// Frame-level cancellation, reported below; not a storage
-				// loss.
-			default:
-				r.failedReads.Add(1)
-				repMu.Lock()
-				if rep.Failures == nil {
-					rep.Failures = make(map[grid.BlockID]error)
-				}
-				rep.Missing = append(rep.Missing, id)
-				rep.Failures[id] = err
-				repMu.Unlock()
-			}
-		}(i, id)
+		if vals, ok := r.cache.GetCached(id); ok {
+			out[i] = vals
+			r.demandHits.Add(1)
+		} else {
+			missIdx = append(missIdx, i)
+		}
 	}
-	wg.Wait()
+
+	if len(missIdx) > 0 {
+		// Misses in block-ID order are file order; contiguous chunks keep
+		// each batch mergeable into sequential I/O.
+		sort.Slice(missIdx, func(a, b int) bool {
+			return visible[missIdx[a]] < visible[missIdx[b]]
+		})
+		fs := &frameState{ctx: ctx, r: r, out: out, rep: &rep}
+		chunks := r.opts.DemandWorkers
+		if chunks > len(missIdx) {
+			chunks = len(missIdx)
+		}
+		per := (len(missIdx) + chunks - 1) / chunks
+		for lo := 0; lo < len(missIdx); lo += per {
+			hi := lo + per
+			if hi > len(missIdx) {
+				hi = len(missIdx)
+			}
+			job := &demandJob{
+				fs:   fs,
+				ids:  make([]grid.BlockID, hi-lo),
+				idxs: missIdx[lo:hi],
+			}
+			for k, i := range job.idxs {
+				job.ids[k] = visible[i]
+			}
+			r.dispatch(job)
+		}
+		fs.wg.Wait()
+	}
+
 	if err := ctx.Err(); err != nil {
 		return nil, FrameReport{}, err
 	}
@@ -251,17 +398,30 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	}
 
 	// Schedule prediction-driven prefetch; never block the frame. The read
-	// lock fences against Close closing the channel mid-enqueue.
+	// lock fences against Close closing the channel mid-enqueue; the
+	// queued-set keeps a block predicted by consecutive frames from sitting
+	// in the queue more than once.
 	r.mu.RLock()
 	if !r.closed.Load() {
 		for _, id := range r.vis.Predict(pos) {
 			if r.imp.Score(id) <= r.opts.Sigma || r.cache.Contains(id) {
 				continue
 			}
+			r.queuedMu.Lock()
+			if _, dup := r.queued[id]; dup {
+				r.queuedMu.Unlock()
+				r.prefetchDeduped.Add(1)
+				continue
+			}
+			r.queued[id] = struct{}{}
+			r.queuedMu.Unlock()
 			select {
 			case r.prefetchCh <- id:
 				r.prefetchIssued.Add(1)
 			default:
+				r.queuedMu.Lock()
+				delete(r.queued, id)
+				r.queuedMu.Unlock()
 				r.prefetchDropped.Add(1)
 			}
 		}
@@ -276,11 +436,13 @@ func (r *Runtime) Snapshot() Stats {
 		Frames:           r.frames.Load(),
 		DemandReads:      r.demandReads.Load(),
 		DemandHits:       r.demandHits.Load(),
+		DemandBatches:    r.demandBatches.Load(),
 		DegradedFrames:   r.degradedFrames.Load(),
 		FailedReads:      r.failedReads.Load(),
 		Retries:          r.retries.Load(),
 		ChecksumErrors:   r.checksumErrors.Load(),
 		PrefetchIssued:   r.prefetchIssued.Load(),
+		PrefetchDeduped:  r.prefetchDeduped.Load(),
 		PrefetchDropped:  r.prefetchDropped.Load(),
 		PrefetchExecuted: r.prefetchExecuted.Load(),
 		PrefetchFailed:   r.prefetchFailed.Load(),
@@ -290,15 +452,16 @@ func (r *Runtime) Snapshot() Stats {
 // CacheStats returns the underlying cache's hit/miss counts.
 func (r *Runtime) CacheStats() (hits, misses int64) { return r.cache.Stats() }
 
-// Close stops the prefetch workers and waits for them to drain. Frame must
-// not be called afterwards (it fails cleanly if it is; frames already in
-// flight complete). Close is idempotent and safe to call concurrently with
-// Frame.
+// Close stops the demand and prefetch workers and waits for them to drain.
+// Frame must not be called afterwards (it fails cleanly if it is; frames
+// already in flight complete, running any unsubmitted work inline). Close
+// is idempotent and safe to call concurrently with Frame.
 func (r *Runtime) Close() {
 	if r.closed.Swap(true) {
 		return
 	}
 	r.mu.Lock()
+	close(r.demandCh)
 	close(r.prefetchCh)
 	r.mu.Unlock()
 	r.wg.Wait()

@@ -485,3 +485,91 @@ func TestFrameConcurrentWithClose(t *testing.T) {
 	}
 	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
+
+// TestDemandPoolStressTinyCache hammers the persistent demand pool with a
+// cache that holds almost nothing, so every frame is miss-heavy and the
+// eviction/coalescing/batch paths all run concurrently. The runtime's
+// accounting must stay consistent with the cache's own counters.
+func TestDemandPoolStressTinyCache(t *testing.T) {
+	f := newFixture(t, 2)
+	r, err := New(f.cache, f.vis, f.imp, Options{DemandWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	theta := vec.Radians(20)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pos := vec.RotateAbout(vec.New(0, 0, 3), vec.New(0, 1, 0), vec.Radians(float64(10*w)))
+			for i := 0; i < 8; i++ {
+				visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+				data, rep, err := r.Frame(ctx, pos, visible)
+				if err != nil {
+					t.Errorf("frame: %v", err)
+					return
+				}
+				if rep.Degraded {
+					t.Errorf("healthy store degraded frame: %+v", rep)
+					return
+				}
+				for j, vals := range data {
+					if int64(len(vals)) != f.g.VoxelCount(visible[j]) {
+						t.Errorf("block %d: %d values", visible[j], len(vals))
+						return
+					}
+				}
+				pos = vec.RotateAbout(pos, vec.New(0, 1, 0), vec.Radians(3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Snapshot()
+	hits, misses := r.CacheStats()
+	if st.DemandReads != misses {
+		t.Errorf("DemandReads = %d, cache misses = %d", st.DemandReads, misses)
+	}
+	if st.DemandHits > hits {
+		t.Errorf("DemandHits = %d exceeds cache hits = %d", st.DemandHits, hits)
+	}
+	if st.DemandBatches == 0 {
+		t.Error("no demand batches dispatched despite a 2-block cache")
+	}
+}
+
+// TestPrefetchEnqueueDedup pins satellite (b): re-predicting blocks that are
+// already queued or in flight must not enqueue duplicate work. Slow injected
+// reads keep the queue occupied across two identical frames.
+func TestPrefetchEnqueueDedup(t *testing.T) {
+	f := newFaultFixture(t, 128, &faultio.InjectorConfig{Latency: 2 * time.Millisecond})
+	r, err := New(f.cache, f.vis, f.imp, Options{
+		Sigma: 0, PrefetchWorkers: 1, QueueDepth: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	ctx := context.Background()
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err != nil {
+		t.Fatal(err)
+	}
+	// Same position again, immediately: the single slow prefetch worker
+	// cannot have drained the queue, so the second frame's identical
+	// predictions must dedup instead of re-enqueueing.
+	if _, _, err := r.Frame(ctx, cam.Pos, visible); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Snapshot()
+	if st.PrefetchDeduped == 0 {
+		t.Errorf("no deduped predictions across identical frames: %+v", st)
+	}
+	r.Close()
+	st = r.Snapshot()
+	if st.PrefetchExecuted+st.PrefetchFailed+st.PrefetchDropped < st.PrefetchIssued {
+		t.Errorf("prefetch accounting inconsistent: %+v", st)
+	}
+}

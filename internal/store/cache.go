@@ -5,6 +5,11 @@ package store
 // memhier level: instead of charging simulated time, it holds actual voxel
 // data and reads misses from the backing reader — a BlockFile directly, or
 // a faultio.Injector wrapping one.
+//
+// The miss path is duplicate-free: concurrent Get/Prefetch/GetBatch calls
+// for the same uncached block coalesce onto a single backing-store read
+// (singleflight), and GetBatch hands whole miss sets to a BatchBlockReader
+// so adjacent blocks merge into sequential I/O.
 
 import (
 	"context"
@@ -15,17 +20,40 @@ import (
 	"repro/internal/grid"
 )
 
+// call is one in-flight backing-store read that concurrent requesters for
+// the same block share. done is closed once vals/err are set.
+type call struct {
+	done chan struct{}
+	vals []float32
+	err  error
+}
+
 // MemCache caches decoded blocks in memory. Safe for concurrent use.
 type MemCache struct {
 	r        BlockReader
+	batch    BatchBlockReader // non-nil when r supports batched reads
+	recycler BlockBufRecycler // non-nil when r can reuse decode buffers
+
 	capacity int64
 
-	mu     sync.Mutex
-	policy cache.Policy
-	data   map[grid.BlockID][]float32
-	used   int64
+	mu       sync.Mutex
+	policy   cache.Policy
+	data     map[grid.BlockID][]float32
+	inflight map[grid.BlockID]*call
+	used     int64
+	recycle  bool
 
 	hits, misses int64
+	coalesced    int64 // requests served by waiting on another's read
+	recycled     int64 // evicted slices handed back for reuse
+}
+
+// CacheCounters is a snapshot of MemCache activity beyond plain hit/miss.
+type CacheCounters struct {
+	Hits      int64 // requests served from cached memory
+	Misses    int64 // requests that initiated a backing-store read
+	Coalesced int64 // requests served by sharing another request's read
+	Recycled  int64 // evicted block buffers handed back for reuse
 }
 
 // NewMemCache wraps the block reader with a cache of the given byte
@@ -41,12 +69,32 @@ func NewMemCache(r BlockReader, capacity int64, p cache.Policy) (*MemCache, erro
 	if p == nil {
 		return nil, fmt.Errorf("store: nil policy")
 	}
-	return &MemCache{
+	c := &MemCache{
 		r:        r,
 		capacity: capacity,
 		policy:   p,
 		data:     make(map[grid.BlockID][]float32),
-	}, nil
+		inflight: make(map[grid.BlockID]*call),
+	}
+	if br, ok := r.(BatchBlockReader); ok {
+		c.batch = br
+	}
+	if rec, ok := r.(BlockBufRecycler); ok {
+		c.recycler = rec
+	}
+	return c, nil
+}
+
+// EnableRecycling turns on reuse of evicted block buffers: eviction hands
+// the victim's slice back to the reader (BlockBufRecycler) so a later read
+// decodes into it instead of allocating. Only enable it when cached slices
+// are known to be short-lived outside the cache — a caller still holding a
+// Get/Frame result past the block's eviction would see its contents
+// overwritten. Off by default; no-op if the reader cannot recycle.
+func (c *MemCache) EnableRecycling() {
+	c.mu.Lock()
+	c.recycle = c.recycler != nil
+	c.mu.Unlock()
 }
 
 // read fetches from the backing reader, honoring ctx when the reader can.
@@ -60,10 +108,66 @@ func (c *MemCache) read(ctx context.Context, id grid.BlockID) ([]float32, error)
 	return c.r.ReadBlock(id)
 }
 
+// wait blocks until the shared call completes or ctx is done, counting a
+// successful shared result as a coalesced hit.
+func (c *MemCache) wait(ctx context.Context, cl *call) ([]float32, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-cl.done:
+	}
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	c.mu.Lock()
+	c.hits++
+	c.coalesced++
+	c.mu.Unlock()
+	return cl.vals, nil
+}
+
+// finish resolves a leader's in-flight call: installs the read block (or
+// adopts a concurrently installed copy), publishes the result to waiters,
+// and removes the in-flight marker. Returns the canonical slice.
+func (c *MemCache) finish(id grid.BlockID, cl *call, vals []float32, err error) []float32 {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	if err == nil {
+		if existing, ok := c.data[id]; ok {
+			// Unreachable through the coalesced paths (only one reader per
+			// block is in flight), but kept for safety: adopt the installed
+			// copy rather than aliasing two.
+			vals = existing
+		} else {
+			c.install(id, vals)
+		}
+	}
+	cl.vals, cl.err = vals, err
+	close(cl.done)
+	c.mu.Unlock()
+	return vals
+}
+
+// GetCached returns the block's voxels only if they are already in memory,
+// counting a hit and touching the policy. It never reads the backing store
+// and never blocks on in-flight reads: the miss path is the caller's to
+// batch. The returned slice is shared with the cache; callers must not
+// modify it.
+func (c *MemCache) GetCached(id grid.BlockID) ([]float32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vals, ok := c.data[id]
+	if ok {
+		c.hits++
+		c.policy.Touch(id)
+	}
+	return vals, ok
+}
+
 // Get returns the block's voxels, reading from the backing store on a miss;
-// hit reports which case occurred, so callers can count true backing-store
-// reads. ctx bounds the read (checked up front for hits, passed to the
-// reader for misses). The returned slice is shared with the cache; callers
+// hit reports whether the call was served from memory (cached, or coalesced
+// onto a concurrent read) — so callers can count true backing-store reads.
+// ctx bounds the read. The returned slice is shared with the cache; callers
 // must not modify it.
 func (c *MemCache) Get(ctx context.Context, id grid.BlockID) (vals []float32, hit bool, err error) {
 	if err := ctx.Err(); err != nil {
@@ -76,23 +180,125 @@ func (c *MemCache) Get(ctx context.Context, id grid.BlockID) (vals []float32, hi
 		c.mu.Unlock()
 		return vals, true, nil
 	}
+	if cl, ok := c.inflight[id]; ok {
+		c.mu.Unlock()
+		vals, err := c.wait(ctx, cl)
+		return vals, err == nil, err
+	}
 	c.misses++
+	cl := &call{done: make(chan struct{})}
+	c.inflight[id] = cl
 	c.mu.Unlock()
 
-	// Read outside the lock so concurrent misses overlap their disk I/O.
+	// Read outside the lock so concurrent misses of different blocks
+	// overlap their disk I/O.
 	vals, err = c.read(ctx, id)
+	vals = c.finish(id, cl, vals, err)
 	if err != nil {
 		return nil, false, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if existing, ok := c.data[id]; ok {
-		// A concurrent reader already installed it; keep theirs. The
-		// backing store was still read, so this does not count as a hit.
-		return existing, false, nil
-	}
-	c.install(id, vals)
 	return vals, false, nil
+}
+
+// GetBatch serves many blocks at once with per-block results: vals[i],
+// hit[i], errs[i] correspond to ids[i], with Get's hit semantics. Cached
+// blocks are returned immediately; blocks already being read by a
+// concurrent request are waited on, not re-read; the remaining misses go to
+// the backing store as one batch (offset-sorted and merged when the reader
+// implements BatchBlockReader). Duplicate ids are served one read.
+func (c *MemCache) GetBatch(ctx context.Context, ids []grid.BlockID) (vals [][]float32, hit []bool, errs []error) {
+	vals = make([][]float32, len(ids))
+	hit = make([]bool, len(ids))
+	errs = make([]error, len(ids))
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return vals, hit, errs
+	}
+
+	var (
+		leadIdx []int                  // first occurrence of each missing id
+		dups    map[grid.BlockID][]int // extra occurrences, resolved at the end
+		waiters map[int]*call          // index -> concurrent read to join
+	)
+	seen := make(map[grid.BlockID]int, len(ids))
+	c.mu.Lock()
+	for i, id := range ids {
+		if _, ok := seen[id]; ok {
+			if dups == nil {
+				dups = make(map[grid.BlockID][]int)
+			}
+			dups[id] = append(dups[id], i)
+			continue
+		}
+		seen[id] = i
+		if v, ok := c.data[id]; ok {
+			c.hits++
+			c.policy.Touch(id)
+			vals[i], hit[i] = v, true
+			continue
+		}
+		if cl, ok := c.inflight[id]; ok {
+			if waiters == nil {
+				waiters = make(map[int]*call)
+			}
+			waiters[i] = cl
+			continue
+		}
+		c.misses++
+		c.inflight[id] = &call{done: make(chan struct{})}
+		leadIdx = append(leadIdx, i)
+	}
+	leads := make(map[grid.BlockID]*call, len(leadIdx))
+	for _, i := range leadIdx {
+		leads[ids[i]] = c.inflight[ids[i]]
+	}
+	c.mu.Unlock()
+
+	// Issue this call's own misses as one batch, then resolve each lead so
+	// coalesced waiters (here and in concurrent calls) unblock.
+	if len(leadIdx) > 0 {
+		leadIDs := make([]grid.BlockID, len(leadIdx))
+		for k, i := range leadIdx {
+			leadIDs[k] = ids[i]
+		}
+		var rvals [][]float32
+		var rerrs []error
+		if c.batch != nil {
+			rvals, rerrs = c.batch.ReadBlocks(ctx, leadIDs)
+		} else {
+			rvals = make([][]float32, len(leadIDs))
+			rerrs = make([]error, len(leadIDs))
+			for k, id := range leadIDs {
+				rvals[k], rerrs[k] = c.read(ctx, id)
+			}
+		}
+		for k, i := range leadIdx {
+			id := ids[i]
+			vals[i] = c.finish(id, leads[id], rvals[k], rerrs[k])
+			if rerrs[k] != nil {
+				vals[i], errs[i] = nil, rerrs[k]
+			}
+		}
+	}
+
+	// Join reads initiated by concurrent callers.
+	for i, cl := range waiters {
+		v, err := c.wait(ctx, cl)
+		vals[i], errs[i] = v, err
+		hit[i] = err == nil
+	}
+
+	// Fan results out to duplicate positions.
+	for id, extra := range dups {
+		first := seen[id]
+		for _, i := range extra {
+			vals[i], errs[i] = vals[first], errs[first]
+			hit[i] = errs[first] == nil
+		}
+	}
+	return vals, hit, errs
 }
 
 // Contains reports whether the block is cached (without touching it).
@@ -104,7 +310,9 @@ func (c *MemCache) Contains(id grid.BlockID) bool {
 }
 
 // Prefetch ensures the block is cached, reading it if needed; unlike Get it
-// does not return the data and never counts as a hit or miss.
+// does not return the data and never counts as a hit or miss. A prefetch
+// that finds the block already being read (by a demand Get or another
+// prefetch) waits on that read instead of issuing its own.
 func (c *MemCache) Prefetch(ctx context.Context, id grid.BlockID) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -114,17 +322,21 @@ func (c *MemCache) Prefetch(ctx context.Context, id grid.BlockID) error {
 		c.mu.Unlock()
 		return nil
 	}
+	if cl, ok := c.inflight[id]; ok {
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-cl.done:
+		}
+		return cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[id] = cl
 	c.mu.Unlock()
 	vals, err := c.read(ctx, id)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.data[id]; !ok {
-		c.install(id, vals)
-	}
-	return nil
+	c.finish(id, cl, vals, err)
+	return err
 }
 
 // install must be called with the lock held.
@@ -154,6 +366,10 @@ func (c *MemCache) evict(id grid.BlockID) {
 	delete(c.data, id)
 	c.used -= int64(len(vals)) * 4
 	c.policy.Remove(id)
+	if c.recycle {
+		c.recycled++
+		c.recycler.RecycleBlockBuf(vals)
+	}
 }
 
 // Stats returns hit and miss counts so far.
@@ -161,6 +377,19 @@ func (c *MemCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Counters returns the full activity snapshot, including coalesced requests
+// and recycled buffers.
+func (c *MemCache) Counters() CacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheCounters{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Recycled:  c.recycled,
+	}
 }
 
 // Used returns the bytes currently cached.

@@ -28,6 +28,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultio"
 	"repro/internal/grid"
@@ -68,6 +71,32 @@ type ContextBlockReader interface {
 	ReadBlockContext(ctx context.Context, id grid.BlockID) ([]float32, error)
 }
 
+// BatchBlockReader is optionally implemented by readers that can serve many
+// blocks in one call with per-block results: vals[i]/errs[i] correspond to
+// ids[i], and one block's failure never poisons its neighbors. BlockFile
+// implements it with offset-sorted, merged sequential reads;
+// faultio.Injector implements it by splitting the batch so per-block fault
+// semantics are preserved; MemCache prefers it for miss batches.
+type BatchBlockReader interface {
+	ReadBlocks(ctx context.Context, ids []grid.BlockID) (vals [][]float32, errs []error)
+}
+
+// BlockBufRecycler is optionally implemented by readers that can reuse
+// previously decoded block buffers for future reads. Callers must hand back
+// only slices no longer referenced anywhere — a recycled buffer's contents
+// are overwritten by a later read. MemCache feeds evicted slices to it when
+// recycling is explicitly enabled (see MemCache.EnableRecycling).
+type BlockBufRecycler interface {
+	RecycleBlockBuf([]float32)
+}
+
+// maxMergedRunBytes caps how many bytes one merged ReadAt may cover, so a
+// huge contiguous miss batch stays within a bounded staging buffer.
+const maxMergedRunBytes = 8 << 20
+
+// maxFreeBufs bounds the decode-buffer free list (per BlockFile).
+const maxFreeBufs = 64
+
 // BlockFile reads blocks from a block-layout file.
 type BlockFile struct {
 	f       *os.File
@@ -75,10 +104,54 @@ type BlockFile struct {
 	g       *grid.Grid
 	offsets []int64  // byte offset of each block's data
 	crcs    []uint32 // per-block CRC32C (nil for v1 files)
+
+	staging sync.Pool // *[]byte raw staging buffers, reused across reads
+
+	freeMu sync.Mutex
+	free   [][]float32 // recycled decode buffers (fed via RecycleBlockBuf)
+
+	reads       atomic.Int64 // blocks served (single + batched)
+	batches     atomic.Int64 // ReadBlocks calls
+	mergedRuns  atomic.Int64 // ReadAt calls issued by ReadBlocks
+	batchBlocks atomic.Int64 // blocks served through ReadBlocks
+	stagingGets atomic.Int64 // staging-buffer requests
+	stagingNews atomic.Int64 // staging requests that had to allocate
+	bufGets     atomic.Int64 // decode-buffer requests
+	bufReuses   atomic.Int64 // decode requests served from the free list
 }
 
 var _ BlockReader = (*BlockFile)(nil)
+var _ BatchBlockReader = (*BlockFile)(nil)
+var _ BlockBufRecycler = (*BlockFile)(nil)
 var _ faultio.Checksummer = (*BlockFile)(nil)
+
+// IOStats counts a BlockFile's read-path activity: how many blocks were
+// served, how batching merged them into sequential runs, and how often the
+// staging and decode buffer pools avoided an allocation.
+type IOStats struct {
+	Reads       int64 // blocks served, single and batched
+	Batches     int64 // ReadBlocks calls
+	MergedRuns  int64 // physical ReadAt calls those batches issued
+	BatchBlocks int64 // blocks served through ReadBlocks
+	StagingGets int64 // staging ([]byte) buffer requests
+	StagingNews int64 // staging requests that allocated fresh memory
+	BufGets     int64 // decode ([]float32) buffer requests
+	BufReuses   int64 // decode requests served from recycled buffers
+}
+
+// IOStats returns a snapshot of the file's read-path counters.
+func (bf *BlockFile) IOStats() IOStats {
+	return IOStats{
+		Reads:       bf.reads.Load(),
+		Batches:     bf.batches.Load(),
+		MergedRuns:  bf.mergedRuns.Load(),
+		BatchBlocks: bf.batchBlocks.Load(),
+		StagingGets: bf.stagingGets.Load(),
+		StagingNews: bf.stagingNews.Load(),
+		BufGets:     bf.bufGets.Load(),
+		BufReuses:   bf.bufReuses.Load(),
+	}
+}
 
 // Write materializes one variable of a dataset to path in block layout
 // (format v2, checksummed). Blocks are written in BlockID order, each as
@@ -253,31 +326,158 @@ func (bf *BlockFile) BlockChecksum(id grid.BlockID) (uint32, bool) {
 	return bf.crcs[id], true
 }
 
-// ReadBlock reads one block's voxels, verifying its checksum on v2 files. A
-// mismatch is reported as a permanent faultio.ErrChecksum fault: the bytes
-// on disk are rotten and rereading cannot help. The returned slice is
-// freshly allocated and owned by the caller. Safe for concurrent use
-// (ReadAt).
-func (bf *BlockFile) ReadBlock(id grid.BlockID) ([]float32, error) {
-	if int(id) < 0 || int(id) >= bf.g.NumBlocks() {
-		return nil, fmt.Errorf("store: block %d out of range: %w", id, faultio.ErrPermanent)
+// getStaging returns a raw byte buffer of at least n bytes from the staging
+// pool, allocating only when the pool has nothing large enough.
+func (bf *BlockFile) getStaging(n int64) []byte {
+	bf.stagingGets.Add(1)
+	if p, ok := bf.staging.Get().(*[]byte); ok && int64(cap(*p)) >= n {
+		return (*p)[:n]
 	}
-	n := bf.BlockBytes(id)
-	raw := make([]byte, n)
-	if _, err := bf.f.ReadAt(raw, bf.offsets[id]); err != nil {
-		return nil, fmt.Errorf("store: block %d: %v", id, err)
+	bf.stagingNews.Add(1)
+	return make([]byte, n)
+}
+
+func (bf *BlockFile) putStaging(b []byte) {
+	bf.staging.Put(&b)
+}
+
+// getBuf returns a decode buffer of exactly n float32s, reusing a recycled
+// buffer when one is large enough (size-checked: a too-small candidate is
+// left for smaller blocks).
+func (bf *BlockFile) getBuf(n int) []float32 {
+	bf.bufGets.Add(1)
+	bf.freeMu.Lock()
+	for i := len(bf.free) - 1; i >= 0 && i >= len(bf.free)-8; i-- {
+		if cap(bf.free[i]) >= n {
+			buf := bf.free[i]
+			bf.free = append(bf.free[:i], bf.free[i+1:]...)
+			bf.freeMu.Unlock()
+			bf.bufReuses.Add(1)
+			return buf[:n]
+		}
 	}
+	bf.freeMu.Unlock()
+	return make([]float32, n)
+}
+
+// RecycleBlockBuf hands a decoded block buffer back for reuse by a later
+// read. The caller must guarantee no live reference to the slice remains:
+// its contents will be overwritten. It implements BlockBufRecycler.
+func (bf *BlockFile) RecycleBlockBuf(vals []float32) {
+	if cap(vals) == 0 {
+		return
+	}
+	bf.freeMu.Lock()
+	if len(bf.free) < maxFreeBufs {
+		bf.free = append(bf.free, vals)
+	}
+	bf.freeMu.Unlock()
+}
+
+// decode verifies the block's checksum over its raw bytes (v2 files) and
+// decodes them into a pooled float32 buffer.
+func (bf *BlockFile) decode(id grid.BlockID, raw []byte) ([]float32, error) {
 	if bf.crcs != nil {
 		if got := crc32.Checksum(raw, castagnoli); got != bf.crcs[id] {
 			return nil, fmt.Errorf("store: block %d: crc 0x%08x, want 0x%08x: %w",
 				id, got, bf.crcs[id], faultio.Permanent(faultio.ErrChecksum))
 		}
 	}
-	vals := make([]float32, n/4)
+	vals := bf.getBuf(len(raw) / 4)
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
 	}
 	return vals, nil
+}
+
+// ReadBlock reads one block's voxels, verifying its checksum on v2 files. A
+// mismatch is reported as a permanent faultio.ErrChecksum fault: the bytes
+// on disk are rotten and rereading cannot help. The returned slice is owned
+// by the caller (until the caller itself recycles it). Safe for concurrent
+// use (ReadAt).
+func (bf *BlockFile) ReadBlock(id grid.BlockID) ([]float32, error) {
+	if int(id) < 0 || int(id) >= bf.g.NumBlocks() {
+		return nil, fmt.Errorf("store: block %d out of range: %w", id, faultio.ErrPermanent)
+	}
+	bf.reads.Add(1)
+	n := bf.BlockBytes(id)
+	raw := bf.getStaging(n)
+	defer bf.putStaging(raw)
+	if _, err := bf.f.ReadAt(raw, bf.offsets[id]); err != nil {
+		return nil, fmt.Errorf("store: block %d: %v", id, err)
+	}
+	return bf.decode(id, raw)
+}
+
+// ReadBlocks reads many blocks with per-block results, sorting them by file
+// offset and merging adjacent blocks into single sequential ReadAt calls
+// (capped at maxMergedRunBytes per run), so a miss batch costs near-
+// sequential I/O instead of len(ids) random reads. vals[i]/errs[i]
+// correspond to ids[i]; checksum verification stays per block, so one
+// rotten block fails alone. ctx is checked between runs. It implements
+// BatchBlockReader.
+func (bf *BlockFile) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
+	vals := make([][]float32, len(ids))
+	errs := make([]error, len(ids))
+	bf.batches.Add(1)
+	bf.batchBlocks.Add(int64(len(ids)))
+	bf.reads.Add(int64(len(ids)))
+
+	// Order requests by file offset; invalid ids fail individually.
+	order := make([]int, 0, len(ids))
+	for i, id := range ids {
+		if int(id) < 0 || int(id) >= bf.g.NumBlocks() {
+			errs[i] = fmt.Errorf("store: block %d out of range: %w", id, faultio.ErrPermanent)
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bf.offsets[ids[order[a]]] < bf.offsets[ids[order[b]]]
+	})
+
+	for runStart := 0; runStart < len(order); {
+		if err := ctx.Err(); err != nil {
+			for _, i := range order[runStart:] {
+				errs[i] = err
+			}
+			return vals, errs
+		}
+		// Grow the run while blocks are back-to-back in the file (duplicate
+		// ids collapse: a zero-length extension is still adjacent).
+		runEnd := runStart + 1
+		first := ids[order[runStart]]
+		runBytes := bf.offsets[first+1] - bf.offsets[first]
+		for runEnd < len(order) {
+			prev, next := ids[order[runEnd-1]], ids[order[runEnd]]
+			if bf.offsets[next] != bf.offsets[prev+1] && next != prev {
+				break
+			}
+			grown := bf.offsets[next+1] - bf.offsets[first]
+			if grown > maxMergedRunBytes {
+				break
+			}
+			runBytes = grown
+			runEnd++
+		}
+		bf.mergedRuns.Add(1)
+		raw := bf.getStaging(runBytes)
+		if _, err := bf.f.ReadAt(raw, bf.offsets[first]); err != nil {
+			for _, i := range order[runStart:runEnd] {
+				errs[i] = fmt.Errorf("store: block %d: %v", ids[i], err)
+			}
+		} else {
+			for _, i := range order[runStart:runEnd] {
+				id := ids[i]
+				lo := bf.offsets[id] - bf.offsets[first]
+				hi := bf.offsets[id+1] - bf.offsets[first]
+				vals[i], errs[i] = bf.decode(id, raw[lo:hi])
+			}
+		}
+		bf.putStaging(raw)
+		runStart = runEnd
+	}
+	return vals, errs
 }
 
 // Close closes the underlying file.

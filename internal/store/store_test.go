@@ -9,7 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/faultio"
@@ -501,5 +503,362 @@ func TestMemCacheOverInjector(t *testing.T) {
 	}
 	if !faultio.Retryable(err) {
 		t.Errorf("transient injected failure not retryable: %v", err)
+	}
+}
+
+// gatedReader is a counting backing store whose reads block until released,
+// so tests can pin the exact interleaving of concurrent cache misses.
+type gatedReader struct {
+	reads   atomic.Int64
+	entered chan struct{} // one signal per read entering the backing store
+	release chan struct{} // closed to let all entered reads return
+}
+
+func (g *gatedReader) ReadBlock(id grid.BlockID) ([]float32, error) {
+	g.reads.Add(1)
+	g.entered <- struct{}{}
+	<-g.release
+	return []float32{float32(id), 1, 2, 3}, nil
+}
+
+// TestCoalescingSingleBackingRead is the acceptance test for request
+// coalescing: N concurrent requests (Get, Prefetch, and GetBatch mixed) for
+// one uncached block must cause exactly one backing-store read.
+func TestCoalescingSingleBackingRead(t *testing.T) {
+	gr := &gatedReader{entered: make(chan struct{}, 16), release: make(chan struct{})}
+	c, err := NewMemCache(gr, 1<<20, cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const id = grid.BlockID(7)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: performs the one real read
+		defer wg.Done()
+		if _, _, err := c.Get(ctx, id); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-gr.entered // leader is inside the backing store; block 7 is in flight
+
+	// Everyone arriving now must coalesce onto the leader's read: the block
+	// is not cached yet (leader is blocked), so any duplicate read would
+	// enter the gated store and be counted.
+	const followers = 9
+	results := make([][]float32, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				v, hit, err := c.Get(ctx, id)
+				if err != nil || !hit {
+					t.Errorf("follower Get: hit=%v err=%v", hit, err)
+				}
+				results[i] = v
+			case 1:
+				if err := c.Prefetch(ctx, id); err != nil {
+					t.Errorf("follower Prefetch: %v", err)
+				}
+			case 2:
+				vals, hits, errs := c.GetBatch(ctx, []grid.BlockID{id})
+				if errs[0] != nil || !hits[0] {
+					t.Errorf("follower GetBatch: hit=%v err=%v", hits[0], errs[0])
+				}
+				results[i] = vals[0]
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers reach the in-flight wait
+	close(gr.release)
+	wg.Wait()
+
+	if n := gr.reads.Load(); n != 1 {
+		t.Fatalf("backing store read %d times for one block, want exactly 1", n)
+	}
+	for i, v := range results {
+		if v != nil && v[0] != float32(id) {
+			t.Errorf("follower %d got block %v", i, v[0])
+		}
+	}
+	if co := c.Counters().Coalesced; co == 0 {
+		t.Error("no coalesced requests recorded")
+	}
+}
+
+func TestReadBlocksMatchesReadBlock(t *testing.T) {
+	path, ds, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	// Scrambled order with duplicates and an invalid id: per-slot results.
+	ids := []grid.BlockID{5, 0, 63, 5, 17, grid.BlockID(g.NumBlocks()), 16, 1}
+	vals, errs := bf.ReadBlocks(context.Background(), ids)
+	for i, id := range ids {
+		if int(id) >= g.NumBlocks() {
+			if errs[i] == nil {
+				t.Errorf("invalid id %d accepted", id)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("block %d: %v", id, errs[i])
+		}
+		want := ds.BlockSamples(g, id, 0, 0)
+		if len(vals[i]) != len(want) {
+			t.Fatalf("block %d: %d values, want %d", id, len(vals[i]), len(want))
+		}
+		for j := range want {
+			if vals[i][j] != want[j] {
+				t.Fatalf("block %d differs at %d", id, j)
+			}
+		}
+	}
+	st := bf.IOStats()
+	if st.Batches != 1 {
+		t.Errorf("batches = %d", st.Batches)
+	}
+	// 0,1 and 16,17 are adjacent in file order and must merge: strictly
+	// fewer physical reads than valid blocks.
+	if st.MergedRuns >= 7 {
+		t.Errorf("no merging: %d runs for 7 valid blocks", st.MergedRuns)
+	}
+}
+
+func TestReadBlocksAllMergesToFewRuns(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	vals, errs := bf.ReadBlocks(context.Background(), g.All())
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("block %d: %v", i, errs[i])
+		}
+		if int64(len(vals[i])) != g.VoxelCount(grid.BlockID(i)) {
+			t.Fatalf("block %d: %d values", i, len(vals[i]))
+		}
+	}
+	st := bf.IOStats()
+	// The whole file is contiguous: run count is bounded by the staging cap,
+	// not the block count.
+	maxRuns := int64(1) + int64(g.NumBlocks())*bf.BlockBytes(0)/maxMergedRunBytes + 1
+	if st.MergedRuns > maxRuns {
+		t.Errorf("%d runs for a fully contiguous batch of %d blocks (want ≤ %d)",
+			st.MergedRuns, g.NumBlocks(), maxRuns)
+	}
+}
+
+func TestReadBlocksPartialBlocks(t *testing.T) {
+	// Clipped edge blocks have differing sizes; merged-run slicing must
+	// still cut each block's exact byte range.
+	ds := volume.LiftedMixFrac().Scale(0.05)
+	g, err := ds.GridWithBlockCount(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.bvol")
+	if err := Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	vals, errs := bf.ReadBlocks(context.Background(), g.All())
+	for _, id := range g.All() {
+		if errs[id] != nil {
+			t.Fatalf("block %d: %v", id, errs[id])
+		}
+		want := ds.BlockSamples(g, id, 0, 0)
+		if len(vals[id]) != len(want) {
+			t.Fatalf("block %d: %d values, want %d", id, len(vals[id]), len(want))
+		}
+		for j := range want {
+			if vals[id][j] != want[j] {
+				t.Fatalf("block %d differs at %d", id, j)
+			}
+		}
+	}
+}
+
+// TestReadBlocksPerBlockChecksumFault pins batch fault semantics: one
+// bit-rotted block inside a merged run fails alone, with the same permanent
+// checksum classification a single ReadBlock would produce.
+func TestReadBlocksPerBlockChecksumFault(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataStart := headerSize + 4*g.NumBlocks()
+	blockBytes := int(g.VoxelCount(0)) * 4
+	raw[dataStart+2*blockBytes+33] ^= 0x10 // rot block 2
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	ids := []grid.BlockID{0, 1, 2, 3, 4} // contiguous: one merged run
+	vals, errs := bf.ReadBlocks(context.Background(), ids)
+	for i, id := range ids {
+		if id == 2 {
+			if !errors.Is(errs[i], faultio.ErrChecksum) {
+				t.Errorf("rotted block error = %v, want checksum fault", errs[i])
+			}
+			if faultio.Retryable(errs[i]) {
+				t.Error("on-disk rot classified retryable")
+			}
+			continue
+		}
+		if errs[i] != nil || vals[i] == nil {
+			t.Errorf("healthy block %d: %v", id, errs[i])
+		}
+	}
+}
+
+// TestGetBatchUnderInjectedFaults runs a miss batch through the fault
+// injector: the injector splits the batch, so a lost block fails alone and
+// its neighbors are served and cached.
+func TestGetBatchUnderInjectedFaults(t *testing.T) {
+	path, ds, _ := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	lost := grid.BlockID(3)
+	inj := faultio.NewInjector(bf, faultio.InjectorConfig{FailBlocks: []grid.BlockID{lost}})
+	c, err := NewMemCache(inj, ds.TotalBytes(), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []grid.BlockID{5, 3, 1, 0}
+	vals, hits, errs := c.GetBatch(context.Background(), ids)
+	for i, id := range ids {
+		if id == lost {
+			if errs[i] == nil || !errors.Is(errs[i], faultio.ErrPermanent) {
+				t.Errorf("lost block: err = %v, want permanent", errs[i])
+			}
+			if vals[i] != nil {
+				t.Error("lost block returned data")
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("block %d: %v", id, errs[i])
+		}
+		if hits[i] {
+			t.Errorf("cold block %d reported as hit", id)
+		}
+		if !c.Contains(id) {
+			t.Errorf("block %d not cached after batch", id)
+		}
+	}
+	if c.Contains(lost) {
+		t.Error("failed block cached")
+	}
+}
+
+// TestRecyclingReusesEvictedBuffers churns a tiny cache with recycling on:
+// evicted decode buffers must be reused by later reads, and the data served
+// must stay correct.
+func TestRecyclingReusesEvictedBuffers(t *testing.T) {
+	path, ds, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	c, err := NewMemCache(bf, 2*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableRecycling()
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		for id := 0; id < g.NumBlocks(); id += 7 {
+			vals, _, err := c.Get(ctx, grid.BlockID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ds.BlockSamples(g, grid.BlockID(id), 0, 0)
+			for j := range want {
+				if vals[j] != want[j] {
+					t.Fatalf("round %d block %d differs at %d", round, id, j)
+				}
+			}
+		}
+	}
+	if n := c.Counters().Recycled; n == 0 {
+		t.Error("no buffers recycled despite churn")
+	}
+	if st := bf.IOStats(); st.BufReuses == 0 {
+		t.Error("no decode buffers reused despite recycling")
+	}
+}
+
+// TestStagingPoolReuse pins the staging-buffer pool: repeated single reads
+// must stop allocating staging memory after the first.
+func TestStagingPoolReuse(t *testing.T) {
+	path, _, _ := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	for i := 0; i < 32; i++ {
+		if _, err := bf.ReadBlock(grid.BlockID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := bf.IOStats()
+	if st.StagingGets != 32 {
+		t.Fatalf("staging gets = %d", st.StagingGets)
+	}
+	// sync.Pool may shed buffers under GC pressure (and drops puts at
+	// random under the race detector), so only pin that reuse happens at
+	// all: 32 serial reads must not each allocate a fresh staging buffer.
+	if st.StagingNews >= st.StagingGets {
+		t.Errorf("staging allocated %d times in %d serial reads; pool never reused",
+			st.StagingNews, st.StagingGets)
+	}
+}
+
+// TestInertInjectorForwardsBatches pins the pass-through: an injector with
+// a zero config left in the stack must not defeat merged batch I/O.
+func TestInertInjectorForwardsBatches(t *testing.T) {
+	path, ds, _ := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	inj := faultio.NewInjector(bf, faultio.InjectorConfig{})
+	c, err := NewMemCache(inj, ds.TotalBytes(), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []grid.BlockID{0, 1, 2, 3}
+	if _, _, errs := c.GetBatch(context.Background(), ids); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	st := bf.IOStats()
+	if st.Batches != 1 || st.MergedRuns != 1 {
+		t.Errorf("inert injector split the batch: %+v", st)
+	}
+	if got := inj.Stats().Reads; got != int64(len(ids)) {
+		t.Errorf("injector counted %d reads, want %d", got, len(ids))
 	}
 }

@@ -66,6 +66,36 @@ func BenchmarkVicinalUnionJitter(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictParallel measures contention on memoized lookups: many
+// goroutines hitting already-materialized keys, the steady state of
+// concurrent interactive frames sharing one table.
+func BenchmarkPredictParallel(b *testing.B) {
+	g := benchGrid(b, 2048)
+	tab, err := NewTable(g, Options{
+		NAzimuth: 72, NElevation: 36, NDistance: 10,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(10),
+		Radius:    radius.Fixed(0.2),
+		Lazy:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	positions := make([]vec.V3, 64)
+	for i := range positions {
+		positions[i] = vec.RotateAbout(vec.New(1.2, -0.4, 2.7), vec.New(0, 1, 0), vec.Radians(float64(i)))
+		tab.Predict(positions[i]) // materialize
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tab.Predict(positions[i%len(positions)])
+			i++
+		}
+	})
+}
+
 func BenchmarkPredict(b *testing.B) {
 	g := benchGrid(b, 2048)
 	tab, err := NewTable(g, Options{

@@ -127,8 +127,7 @@ func Load(r io.Reader, g *grid.Grid) (*Table, error) {
 			}
 			set[j] = grid.BlockID(id)
 		}
-		t.sets[i] = set
-		t.done[i] = true
+		t.setPrecomputed(i, set)
 	}
 	return t, nil
 }

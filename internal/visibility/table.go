@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/entropy"
@@ -64,13 +65,18 @@ func (o Options) withDefaults() Options {
 // Table is the paper's T_visible: sampling camera positions in Ω keyed by
 // <view direction l, distance d>, each mapped to the set of blocks visible
 // from its vicinal area φ. Lookup finds the nearest sampled position.
+//
+// Lazy materialization is sharded per key (one sync.Once each) rather than
+// serialized behind a table-wide lock, so concurrent frames looking up
+// different — or already-computed — keys never contend: the steady-state
+// lookup is a single atomic load.
 type Table struct {
 	g    *grid.Grid
 	opts Options
 
-	mu   sync.Mutex
-	sets [][]grid.BlockID // indexed by key; nil when not yet materialized
-	done []bool
+	sets [][]grid.BlockID // indexed by key; written once inside once[i]
+	once []sync.Once
+	done []atomic.Bool
 }
 
 // NewTable validates options and returns a T_visible for the grid. With
@@ -95,7 +101,8 @@ func NewTable(g *grid.Grid, opts Options) (*Table, error) {
 		g:    g,
 		opts: opts,
 		sets: make([][]grid.BlockID, n),
-		done: make([]bool, n),
+		once: make([]sync.Once, n),
+		done: make([]atomic.Bool, n),
 	}
 	if !opts.Lazy {
 		t.MaterializeAll()
@@ -174,25 +181,25 @@ func (t *Table) QueryCost() time.Duration {
 }
 
 // PredictedSet returns the visible-block set S_v of key i, computing and
-// memoizing it on first use in lazy mode. The returned slice is shared;
-// callers must not modify it.
+// memoizing it on first use in lazy mode. Concurrent lookups of distinct
+// keys proceed independently; concurrent lookups of one cold key compute it
+// once and share the result. The returned slice is shared; callers must not
+// modify it.
 func (t *Table) PredictedSet(i int) []grid.BlockID {
-	t.mu.Lock()
-	if t.done[i] {
-		s := t.sets[i]
-		t.mu.Unlock()
-		return s
-	}
-	t.mu.Unlock()
-	s := t.computeSet(i)
-	t.mu.Lock()
-	if !t.done[i] {
-		t.sets[i] = s
-		t.done[i] = true
-	}
-	s = t.sets[i]
-	t.mu.Unlock()
-	return s
+	t.once[i].Do(func() {
+		t.sets[i] = t.computeSet(i)
+		t.done[i].Store(true)
+	})
+	return t.sets[i]
+}
+
+// setPrecomputed installs an externally computed set for key i (used by
+// Load); it is a no-op if the key was already materialized.
+func (t *Table) setPrecomputed(i int, set []grid.BlockID) {
+	t.once[i].Do(func() {
+		t.sets[i] = set
+		t.done[i].Store(true)
+	})
 }
 
 // Predict returns the predicted visible set for an arbitrary camera
@@ -253,11 +260,9 @@ func (t *Table) MaterializeAll() {
 // MaterializedKeys reports how many keys have computed sets (all of them
 // after MaterializeAll; only the visited ones in lazy mode).
 func (t *Table) MaterializedKeys() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, d := range t.done {
-		if d {
+	for i := range t.done {
+		if t.done[i].Load() {
 			n++
 		}
 	}

@@ -1,6 +1,7 @@
 package visibility
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -296,5 +297,44 @@ func TestPredictedSetsSharedNotCopied(t *testing.T) {
 	b := tab.PredictedSet(3)
 	if len(a) > 0 && &a[0] != &b[0] {
 		t.Error("PredictedSet returned different arrays")
+	}
+}
+
+// TestPredictedSetConcurrent hammers lazy materialization from many
+// goroutines: each key must be computed exactly once and every caller must
+// see the identical slice (the per-key sync.Once contract).
+func TestPredictedSetConcurrent(t *testing.T) {
+	opts := tableOpts()
+	opts.NAzimuth, opts.NElevation, opts.NDistance = 24, 12, 2
+	opts.Lazy = true
+	_, tab := newTestTable(t, opts)
+	n := tab.NumKeys()
+	first := make([][]grid.BlockID, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				set := tab.PredictedSet(i)
+				if len(set) == 0 {
+					continue
+				}
+				mu.Lock()
+				if first[i] == nil {
+					first[i] = set
+				} else if &first[i][0] != &set[0] || len(first[i]) != len(set) {
+					t.Errorf("key %d: callers saw different slices", i)
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tab.MaterializedKeys(); got != n {
+		t.Errorf("materialized %d of %d keys", got, n)
 	}
 }
