@@ -3,10 +3,10 @@
 # smoke so benchmark code can't rot.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
-BENCH_PKGS := ./internal/ooc/... ./internal/store/...
+BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/...
 
 .PHONY: check vet build test race bench bench-all bench-smoke
 

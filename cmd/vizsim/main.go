@@ -14,7 +14,10 @@
 // the concurrent out-of-core runtime drives it, optionally through a
 // deterministic fault injector (-fail-rate, -corrupt-rate, -io-latency,
 // -fault-seed), reporting retry/degradation counters alongside cache and
-// prefetch stats.
+// prefetch stats. With -remote addr the blocks come from a running vizserver
+// instead of local disk: the runtime reads through a pooled blocksvc client,
+// sends its camera positions so the server prefetches ahead of the session,
+// and reports wire-level fault/shed counters.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/blocksvc"
 	"repro/internal/cache"
 	"repro/internal/camera"
 	"repro/internal/entropy"
@@ -58,6 +62,7 @@ func main() {
 		savePath = flag.String("save-path", "", "write the camera path used to this file")
 
 		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
+		remote      = flag.String("remote", "", "realio: read blocks from a vizserver at this address instead of local disk")
 		cacheFrac   = flag.Float64("cache-frac", 0.25, "realio: in-memory cache size as a fraction of the dataset")
 		failRate    = flag.Float64("fail-rate", 0, "realio: injected transient read-failure probability")
 		permFrac    = flag.Float64("perm-frac", 0, "realio: fraction of injected failures that are permanent")
@@ -122,8 +127,12 @@ func main() {
 		}
 	}
 
+	if *remote != "" && !*realio {
+		fmt.Fprintln(os.Stderr, "vizsim: -remote requires -realio")
+		os.Exit(2)
+	}
 	if *realio {
-		err := runRealIO(ds, g, p, vec.Radians(*angle), *cacheFrac, faultio.InjectorConfig{
+		err := runRealIO(ds, g, p, vec.Radians(*angle), *remote, *cacheFrac, faultio.InjectorConfig{
 			Seed:          *faultSeed,
 			FailRate:      *failRate,
 			PermanentFrac: *permFrac,
@@ -179,30 +188,57 @@ func main() {
 	fmt.Printf("demand fetches    %d\n", m.DemandFetches)
 }
 
-// runRealIO materializes the dataset as a checksummed block file and plays
-// the camera path through the fault-tolerant out-of-core runtime, printing
-// retry/degradation counters alongside cache and prefetch stats.
+// runRealIO plays the camera path through the fault-tolerant out-of-core
+// runtime against real storage, printing retry/degradation counters
+// alongside cache and prefetch stats. The backing store is either a locally
+// materialized checksummed block file or, with remote set, a vizserver
+// reached over the blocksvc protocol (the injector then models client-side
+// faults on top of whatever the server injects).
 func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
-	cacheFrac float64, inject faultio.InjectorConfig, readDeadline time.Duration) error {
-	dir, err := os.MkdirTemp("", "vizsim-realio")
-	if err != nil {
-		return err
+	remote string, cacheFrac float64, inject faultio.InjectorConfig, readDeadline time.Duration) error {
+	var (
+		reader store.BlockReader
+		bf     *store.BlockFile
+		rr     *blocksvc.RemoteReader
+		err    error
+	)
+	if remote != "" {
+		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Addr: remote, Conns: 4})
+		if err != nil {
+			return err
+		}
+		defer rr.Close()
+		hdr := rr.Header()
+		if hdr.Res != g.Res() || hdr.Block != g.BlockSize() {
+			return fmt.Errorf("remote serves %v in %v blocks; local flags give %v in %v — "+
+				"start vizsim with the server's -dataset/-scale/-blocks",
+				hdr.Res, hdr.Block, g.Res(), g.BlockSize())
+		}
+		fmt.Printf("remote store       %s (v%d, %d blocks, 4 pooled conns)\n",
+			remote, hdr.Version, g.NumBlocks())
+		reader = rr
+	} else {
+		dir, err := os.MkdirTemp("", "vizsim-realio")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, ds.Name+".bvol")
+		start := time.Now()
+		if err := store.Write(path, ds, g, 0); err != nil {
+			return err
+		}
+		bf, err = store.Open(path)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		fmt.Printf("materialized       %s (v%d, %d blocks) in %v\n",
+			path, bf.Header().Version, g.NumBlocks(), time.Since(start).Round(time.Millisecond))
+		reader = bf
 	}
-	defer os.RemoveAll(dir)
-	path := filepath.Join(dir, ds.Name+".bvol")
-	start := time.Now()
-	if err := store.Write(path, ds, g, 0); err != nil {
-		return err
-	}
-	bf, err := store.Open(path)
-	if err != nil {
-		return err
-	}
-	defer bf.Close()
-	fmt.Printf("materialized       %s (v%d, %d blocks) in %v\n",
-		path, bf.Header().Version, g.NumBlocks(), time.Since(start).Round(time.Millisecond))
 
-	inj := faultio.NewInjector(bf, inject)
+	inj := faultio.NewInjector(reader, inject)
 	capacity := int64(float64(ds.TotalBytes()) * cacheFrac)
 	if capacity <= 0 {
 		capacity = 1
@@ -240,6 +276,11 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	var missing int
 	wall := time.Now()
 	for _, pos := range p.Steps {
+		if rr != nil {
+			// Tell the server where the camera is so its shared-cache
+			// prefetch works ahead of this session.
+			rr.SendView(ctx, pos)
+		}
 		visible := visibility.VisibleSet(g, camera.Camera{Pos: pos, ViewAngle: theta})
 		_, rep, err := rt.Frame(ctx, pos, visible)
 		if err != nil {
@@ -259,9 +300,18 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	cc := mc.Counters()
 	fmt.Printf("coalesced          %d duplicate in-flight requests merged, %d buffers recycled\n",
 		cc.Coalesced, cc.Recycled)
-	ios := bf.IOStats()
-	fmt.Printf("block file         %d blocks served, %d batches (%d batched blocks in %d merged runs), %d/%d decode bufs reused\n",
-		ios.Reads, ios.Batches, ios.BatchBlocks, ios.MergedRuns, ios.BufReuses, ios.BufGets)
+	if bf != nil {
+		ios := bf.IOStats()
+		fmt.Printf("block file         %d blocks served, %d batches (%d batched blocks in %d merged runs), %d/%d decode bufs reused\n",
+			ios.Reads, ios.Batches, ios.BatchBlocks, ios.MergedRuns, ios.BufReuses, ios.BufGets)
+	}
+	if rr != nil {
+		rs := rr.Snapshot()
+		fmt.Printf("remote             %d requests (%d blocks) over %d dials, %d MiB received, %d views sent\n",
+			rs.Requests, rs.BlocksRequested, rs.Dials, rs.BytesReceived>>20, rs.ViewUpdates)
+		fmt.Printf("remote faults      %d server-side, %d shed, %d wire checksum rejects, %d torn connections\n",
+			rs.RemoteFaults, rs.ShedRequests, rs.ChecksumErrors, rs.TransportErrors)
+	}
 	fmt.Printf("prefetch           %d issued, %d deduped, %d executed, %d failed, %d dropped\n",
 		st.PrefetchIssued, st.PrefetchDeduped, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
 	fmt.Printf("retries            %d extra read attempts absorbed\n", st.Retries)

@@ -1,0 +1,57 @@
+package blocksvc
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/ooc"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// BenchmarkRemoteFrame measures one out-of-core frame served entirely over
+// the wire: the server's cache is warm, but the client cache is too small to
+// hold anything, so every visible block crosses the in-process pipe
+// transport each frame — framing, CRC verification, and decode included.
+// Compare with ooc.BenchmarkFrame (the same frame against local memory) for
+// the protocol's per-frame cost.
+func BenchmarkRemoteFrame(b *testing.B) {
+	f := startService(b, svcOpts{})
+	ctx := context.Background()
+	// Warm the server cache so the benchmark measures the wire, not the disk.
+	if _, errs := dialPipe(b, f, 1).ReadBlocks(ctx, f.g.All()); errs[0] != nil {
+		b.Fatal(errs[0])
+	}
+
+	r := dialPipe(b, f, 4)
+	mc, err := store.NewMemCache(r, 4, cache.NewLRU()) // passthrough: never caches
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := ooc.New(mc, f.vis, f.imp, ooc.Options{
+		Sigma: f.imp.MaxScore() + 1, // no prefetch: steady-state demand only
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	if _, _, err := rt.Frame(ctx, cam.Pos, visible); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(visible)) * f.bf.BlockBytes(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := rt.Frame(ctx, cam.Pos, visible)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Degraded {
+			b.Fatalf("degraded benchmark frame: %+v", rep)
+		}
+	}
+}

@@ -1,0 +1,718 @@
+package blocksvc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/camera"
+	"repro/internal/entropy"
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/ooc"
+	"repro/internal/radius"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// countingReader wraps a BlockFile and counts backing-store reads per block:
+// the instrument for the exactly-one-read-per-cold-block acceptance check.
+type countingReader struct {
+	bf *store.BlockFile
+
+	mu    sync.Mutex
+	reads map[grid.BlockID]int
+}
+
+func newCountingReader(bf *store.BlockFile) *countingReader {
+	return &countingReader{bf: bf, reads: make(map[grid.BlockID]int)}
+}
+
+func (c *countingReader) note(ids ...grid.BlockID) {
+	c.mu.Lock()
+	for _, id := range ids {
+		c.reads[id]++
+	}
+	c.mu.Unlock()
+}
+
+func (c *countingReader) ReadBlock(id grid.BlockID) ([]float32, error) {
+	c.note(id)
+	return c.bf.ReadBlock(id)
+}
+
+func (c *countingReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
+	c.note(ids...)
+	return c.bf.ReadBlocks(ctx, ids)
+}
+
+// maxReads returns the highest per-block read count and the total.
+func (c *countingReader) maxReads() (max, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.reads {
+		if n > max {
+			max = n
+		}
+		total += n
+	}
+	return max, total
+}
+
+// svcOpts configures startService.
+type svcOpts struct {
+	// inject wraps the backing file in a fault injector.
+	inject *faultio.InjectorConfig
+	// cacheBytes sets the server cache capacity (0 = whole dataset).
+	cacheBytes int64
+	// count wraps the backing file in a countingReader.
+	count bool
+	// prefetch enables server-side view-driven prefetch.
+	prefetch bool
+	// corrupt flips one on-disk byte of this block before the file is opened.
+	corrupt *grid.BlockID
+	// mutate edits the server config before NewServer.
+	mutate func(*Config)
+}
+
+type svcFixture struct {
+	g     *grid.Grid
+	bf    *store.BlockFile
+	count *countingReader // nil unless opts.count
+	inj   *faultio.Injector
+	cache *store.MemCache
+	imp   *entropy.Table
+	vis   *visibility.Table
+	srv   *Server
+	lis   *PipeListener
+}
+
+// startService builds the full server stack — ball dataset on disk, optional
+// fault injection, shared cache, server on an in-process listener — and
+// tears it down with the test.
+func startService(t testing.TB, o svcOpts) *svcFixture {
+	t.Helper()
+	ds := volume.Ball().Scale(1.0 / 32) // 32³
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ball.bvol")
+	if err := store.Write(path, ds, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.corrupt != nil {
+		corruptBlock(t, path, g, *o.corrupt)
+	}
+	bf, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bf.Close() })
+	f := &svcFixture{g: g, bf: bf}
+	var reader store.BlockReader = bf
+	if o.count {
+		f.count = newCountingReader(bf)
+		reader = f.count
+	}
+	if o.inject != nil {
+		f.inj = faultio.NewInjector(reader, *o.inject)
+		reader = f.inj
+	}
+	capacity := o.cacheBytes
+	if capacity <= 0 {
+		capacity = int64(g.NumBlocks()) * bf.BlockBytes(0)
+	}
+	f.cache, err = store.NewMemCache(reader, capacity, cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.imp = entropy.Build(ds, g, entropy.Options{})
+	f.vis, err = visibility.NewTable(g, visibility.Options{
+		NAzimuth: 16, NElevation: 8, NDistance: 2,
+		RMin: 2.5, RMax: 3.5,
+		ViewAngle: vec.Radians(20),
+		Radius:    radius.Fixed(0.3),
+		Lazy:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cache: f.cache, Grid: g, Header: bf.Header()}
+	if o.prefetch {
+		cfg.Vis, cfg.Imp, cfg.Sigma = f.vis, f.imp, 0
+	}
+	if o.mutate != nil {
+		o.mutate(&cfg)
+	}
+	f.srv, err = NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.lis = NewPipeListener()
+	go f.srv.Serve(f.lis)
+	t.Cleanup(func() {
+		f.lis.Close()
+		f.srv.Close()
+	})
+	return f
+}
+
+// corruptBlock flips one byte inside the block's on-disk payload, leaving
+// the stored checksum stale: the v2 read path must reject the block.
+func corruptBlock(t testing.TB, path string, g *grid.Grid, id grid.BlockID) {
+	t.Helper()
+	off := int64(40 + 4*g.NumBlocks()) // header + checksum table
+	for b := grid.BlockID(0); b < id; b++ {
+		off += g.VoxelCount(b) * 4
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var one [1]byte
+	if _, err := f.ReadAt(one[:], off+10); err != nil {
+		t.Fatal(err)
+	}
+	one[0] ^= 0xFF
+	if _, err := f.WriteAt(one[:], off+10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fastRetry mirrors the ooc test helper: exercises backoff without waiting.
+func fastRetry(attempts int) *faultio.Retrier {
+	return &faultio.Retrier{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Microsecond,
+		MaxDelay:    100 * time.Microsecond,
+		Seed:        11,
+	}
+}
+
+// dialPipe connects a RemoteReader to the fixture's in-process listener.
+func dialPipe(t testing.TB, f *svcFixture, conns int) *RemoteReader {
+	t.Helper()
+	r, err := Dial(ClientConfig{Dial: f.lis.Dial, Conns: conns, Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestDialLearnsGeometry(t *testing.T) {
+	f := startService(t, svcOpts{})
+	r := dialPipe(t, f, 2)
+	if r.Header() != f.bf.Header() {
+		t.Errorf("remote header = %+v, want %+v", r.Header(), f.bf.Header())
+	}
+	if r.Grid().NumBlocks() != f.g.NumBlocks() {
+		t.Errorf("remote grid has %d blocks, want %d", r.Grid().NumBlocks(), f.g.NumBlocks())
+	}
+}
+
+// TestRemoteValuesMatchLocal reads every block through the full wire stack
+// and compares voxel-for-voxel with direct file reads: framing, run
+// splitting, and CRC verification must be transparent.
+func TestRemoteValuesMatchLocal(t *testing.T) {
+	f := startService(t, svcOpts{mutate: func(c *Config) {
+		c.ResponseRunBytes = 4096 // force multi-frame responses
+	}})
+	r := dialPipe(t, f, 2)
+	ids := f.g.All()
+	vals, errs := r.ReadBlocks(context.Background(), ids)
+	for i, id := range ids {
+		if errs[i] != nil {
+			t.Fatalf("block %d: %v", id, errs[i])
+		}
+		want, err := f.bf.ReadBlock(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals[i]) != len(want) {
+			t.Fatalf("block %d: %d values, want %d", id, len(vals[i]), len(want))
+		}
+		for j := range want {
+			if vals[i][j] != want[j] {
+				t.Fatalf("block %d voxel %d: %v != %v", id, j, vals[i][j], want[j])
+			}
+		}
+	}
+	// Single-block path too.
+	got, err := r.ReadBlock(ids[len(ids)/2])
+	if err != nil || got == nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	st := r.Snapshot()
+	if st.BlocksServed == 0 || st.BytesReceived == 0 || st.ChecksumErrors != 0 {
+		t.Errorf("client stats = %+v", st)
+	}
+}
+
+// TestEndToEndTwoSessionsSharedCache is the headline acceptance test: an
+// in-process server, two concurrent ooc.Runtime sessions reading through
+// RemoteReaders, and the backing store is hit at most once per cold block
+// across both sessions — the shared cache's singleflight spans the network.
+// Teardown must leak no goroutines (checked under -race by the race target).
+func TestEndToEndTwoSessionsSharedCache(t *testing.T) {
+	before := runtime.NumGoroutine()
+	f := startService(t, svcOpts{count: true, prefetch: true})
+
+	const sessions = 2
+	readers := make([]*RemoteReader, sessions)
+	runtimes := make([]*ooc.Runtime, sessions)
+	for s := 0; s < sessions; s++ {
+		readers[s] = dialPipe(t, f, 2)
+		mc, err := store.NewMemCache(readers[s],
+			int64(f.g.NumBlocks())*f.bf.BlockBytes(0), cache.NewLRU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ooc.New(mc, f.vis, f.imp, ooc.Options{Sigma: 0, Retry: fastRetry(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimes[s] = rt
+	}
+
+	theta := vec.Radians(20)
+	path := camera.Orbit(3, 6)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i, pos := range path.Steps {
+				readers[s].SendView(ctx, pos) // drive server-side prefetch
+				visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+				data, rep, err := runtimes[s].Frame(ctx, pos, visible)
+				if err != nil {
+					t.Errorf("session %d frame %d: %v", s, i, err)
+					return
+				}
+				if rep.Degraded {
+					t.Errorf("session %d frame %d degraded without faults: %+v", s, i, rep)
+					return
+				}
+				for j := range data {
+					if int64(len(data[j])) != f.g.VoxelCount(visible[j]) {
+						t.Errorf("session %d block %d: %d values", s, visible[j], len(data[j]))
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	max, total := f.count.maxReads()
+	if total == 0 {
+		t.Fatal("no backing-store reads at all")
+	}
+	if max > 1 {
+		t.Errorf("a block was read %d times from the backing store; singleflight across sessions broken", max)
+	}
+	st := f.srv.Snapshot()
+	// Each client pools up to 2 connections, and the server counts sessions
+	// per connection.
+	if st.Sessions < sessions || st.Requests == 0 || st.BlocksOK == 0 {
+		t.Errorf("server stats = %+v", st)
+	}
+	if st.ViewUpdates == 0 {
+		t.Error("no view updates reached the server")
+	}
+
+	// Orderly shutdown: runtimes, clients, then the server; afterwards every
+	// session/worker goroutine must be gone.
+	for s := 0; s < sessions; s++ {
+		runtimes[s].Close()
+		readers[s].Close()
+	}
+	f.lis.Close()
+	f.srv.Close()
+	if got := f.srv.Snapshot().ActiveSessions; got != 0 {
+		t.Errorf("ActiveSessions = %d after Close", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRemoteTransientFaultsDegradeFrames: with the server's storage failing
+// transiently most of the time and retries too few to absorb it all, frames
+// must come back degraded — never as frame-level errors.
+func TestRemoteTransientFaultsDegradeFrames(t *testing.T) {
+	f := startService(t, svcOpts{
+		inject:     &faultio.InjectorConfig{Seed: 7, FailRate: 0.6},
+		cacheBytes: 4, // nothing caches server-side: every read hits the injector
+	})
+	r := dialPipe(t, f, 2)
+	mc, err := store.NewMemCache(r, 4, cache.NewLRU()) // client side uncached too
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ooc.New(mc, f.vis, f.imp, ooc.Options{
+		Sigma: f.imp.MaxScore() + 1, // no prefetch: keep the fault accounting legible
+		Retry: fastRetry(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	theta := vec.Radians(20)
+	degraded, served := 0, 0
+	for i, pos := range camera.Orbit(3, 8).Steps {
+		visible := visibility.VisibleSet(f.g, camera.Camera{Pos: pos, ViewAngle: theta})
+		data, rep, err := rt.Frame(context.Background(), pos, visible)
+		if err != nil {
+			t.Fatalf("frame %d returned an error instead of degrading: %v", i, err)
+		}
+		if rep.Degraded {
+			degraded++
+			for _, id := range rep.Missing {
+				if !faultio.Retryable(rep.Failures[id]) {
+					t.Errorf("transient server fault arrived non-retryable: %v", rep.Failures[id])
+				}
+			}
+		}
+		for j := range data {
+			if data[j] != nil {
+				served++
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Error("no degraded frames at a 60% fault rate — injector not in the path?")
+	}
+	if served == 0 {
+		t.Error("no blocks served at all; degradation should be partial")
+	}
+	if st := f.srv.Snapshot(); st.BlocksFailed == 0 {
+		t.Errorf("server reports no failed blocks: %+v", st)
+	}
+	if st := r.Snapshot(); st.RemoteFaults == 0 {
+		t.Errorf("client reports no remote faults: %+v", st)
+	}
+}
+
+// TestLoadShedDegradesFrames forces admission control to refuse everything
+// (a budget smaller than any block) and checks the full path stays graceful:
+// shed requests come back as retryable ErrShed faults, and ooc frames
+// degrade instead of erroring.
+func TestLoadShedDegradesFrames(t *testing.T) {
+	f := startService(t, svcOpts{mutate: func(c *Config) {
+		c.MaxInflightBytes = 4 // below one block: every request is shed
+		c.MaxQueueWait = time.Millisecond
+	}})
+	r := dialPipe(t, f, 2)
+	mc, err := store.NewMemCache(r, 4, cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ooc.New(mc, f.vis, f.imp, ooc.Options{
+		Sigma: f.imp.MaxScore() + 1,
+		Retry: fastRetry(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+	visible := visibility.VisibleSet(f.g, cam)
+	data, rep, err := rt.Frame(context.Background(), cam.Pos, visible)
+	if err != nil {
+		t.Fatalf("shed storm returned a frame-level error: %v", err)
+	}
+	if !rep.Degraded || len(rep.Missing) != len(visible) {
+		t.Fatalf("expected a fully degraded frame, got %+v", rep)
+	}
+	for i := range data {
+		if data[i] != nil {
+			t.Error("shed block has data")
+		}
+	}
+	for _, id := range rep.Missing {
+		err := rep.Failures[id]
+		if !errors.Is(err, ErrShed) {
+			t.Errorf("block %d failure is not ErrShed: %v", id, err)
+		}
+		if !faultio.Retryable(err) {
+			t.Errorf("shed must stay retryable: %v", err)
+		}
+	}
+	if st := f.srv.Snapshot(); st.ShedRequests == 0 {
+		t.Errorf("server shed nothing: %+v", st)
+	}
+	if st := r.Snapshot(); st.ShedRequests == 0 {
+		t.Errorf("client saw no sheds: %+v", st)
+	}
+}
+
+// TestFaultClassesSurviveWire pins the satellite: the faultio classification
+// a local reader would produce is identical after a round trip through the
+// server — transient stays retryable, permanent stays permanent, and on-disk
+// checksum rot stays a permanent ErrChecksum.
+func TestFaultClassesSurviveWire(t *testing.T) {
+	ctx := context.Background()
+	t.Run("transient", func(t *testing.T) {
+		f := startService(t, svcOpts{
+			inject:     &faultio.InjectorConfig{Seed: 3, FailRate: 1},
+			cacheBytes: 4,
+		})
+		r := dialPipe(t, f, 1)
+		_, err := r.ReadBlockContext(ctx, 0)
+		if err == nil {
+			t.Fatal("injected fault not surfaced")
+		}
+		if !errors.Is(err, faultio.ErrTransient) || !faultio.Retryable(err) {
+			t.Errorf("transient class lost over the wire: %v", err)
+		}
+	})
+	t.Run("permanent", func(t *testing.T) {
+		f := startService(t, svcOpts{
+			inject:     &faultio.InjectorConfig{FailBlocks: []grid.BlockID{3}},
+			cacheBytes: 4,
+		})
+		r := dialPipe(t, f, 1)
+		_, err := r.ReadBlockContext(ctx, 3)
+		if err == nil {
+			t.Fatal("lost block not surfaced")
+		}
+		if !errors.Is(err, faultio.ErrPermanent) || faultio.Retryable(err) {
+			t.Errorf("permanent class lost over the wire: %v", err)
+		}
+		if vals, err := r.ReadBlockContext(ctx, 4); err != nil || vals == nil {
+			t.Errorf("healthy neighbor failed: %v", err)
+		}
+	})
+	t.Run("checksum", func(t *testing.T) {
+		bad := grid.BlockID(5)
+		f := startService(t, svcOpts{corrupt: &bad, cacheBytes: 4})
+		r := dialPipe(t, f, 1)
+		_, err := r.ReadBlockContext(ctx, bad)
+		if err == nil {
+			t.Fatal("corrupted block not surfaced")
+		}
+		if !errors.Is(err, faultio.ErrChecksum) {
+			t.Errorf("checksum class lost over the wire: %v", err)
+		}
+		if !errors.Is(err, faultio.ErrPermanent) || faultio.Retryable(err) {
+			t.Errorf("on-disk rot must arrive permanent: %v", err)
+		}
+		if vals, err := r.ReadBlockContext(ctx, bad+1); err != nil || vals == nil {
+			t.Errorf("healthy neighbor failed: %v", err)
+		}
+	})
+}
+
+// TestInjectorWrapsRemoteReader: the fault harness composes around the
+// remote client exactly as around a local file — client-side injected
+// faults keep their classes and batch reads keep per-block isolation.
+func TestInjectorWrapsRemoteReader(t *testing.T) {
+	f := startService(t, svcOpts{})
+	r := dialPipe(t, f, 1)
+	inj := faultio.NewInjector(r, faultio.InjectorConfig{FailBlocks: []grid.BlockID{2}})
+
+	if _, err := inj.ReadBlock(2); err == nil {
+		t.Fatal("injected permanent fault not surfaced through RemoteReader")
+	} else if !errors.Is(err, faultio.ErrPermanent) {
+		t.Errorf("wrong class: %v", err)
+	}
+	vals, errs := inj.ReadBlocks(context.Background(), []grid.BlockID{1, 2, 3})
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy blocks failed: %v %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || vals[1] != nil {
+		t.Error("failed block served despite injection")
+	}
+	if vals[0] == nil || vals[2] == nil {
+		t.Error("healthy blocks empty")
+	}
+	if inj.Stats().Permanent == 0 {
+		t.Error("injector counted nothing")
+	}
+
+	// And a MemCache over the injected remote reader works end to end.
+	mc, err := store.NewMemCache(inj, 1<<20, cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mc.Get(context.Background(), 1); err != nil {
+		t.Errorf("cache over injected remote reader: %v", err)
+	}
+}
+
+// TestVersionMismatchRefused speaks the raw protocol with a wrong version:
+// the server must answer msgError, and a full client Dial against it must
+// fail permanently (retrying the same hello cannot help).
+func TestVersionMismatchRefused(t *testing.T) {
+	f := startService(t, svcOpts{})
+	ctx := context.Background()
+	conn, err := f.lis.Dial(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var e enc
+	e.u32(protoMagic)
+	e.u16(ProtoVersion + 99)
+	errc := make(chan error, 1)
+	go func() {
+		if err := writeFrame(conn, msgHello, e.b); err != nil {
+			errc <- err
+		}
+		close(errc)
+	}()
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("no refusal frame: %v", err)
+	}
+	if typ != msgError || len(payload) == 0 {
+		t.Errorf("refusal = type %d %q, want msgError", typ, payload)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagicRefused(t *testing.T) {
+	f := startService(t, svcOpts{})
+	conn, err := f.lis.Dial(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var e enc
+	e.u32(0xdeadbeef)
+	e.u16(ProtoVersion)
+	go writeFrame(conn, msgHello, e.b)
+	typ, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("no refusal frame: %v", err)
+	}
+	if typ != msgError {
+		t.Errorf("refusal type = %d, want msgError", typ)
+	}
+}
+
+// TestDialFailsWhenServerGone: a closed listener exhausts the reconnect
+// policy and Dial reports it, counting the retries.
+func TestDialFailsWhenServerGone(t *testing.T) {
+	lis := NewPipeListener()
+	lis.Close()
+	_, err := Dial(ClientConfig{
+		Dial: lis.Dial,
+		Retry: &faultio.Retrier{
+			MaxAttempts: 2,
+			BaseDelay:   10 * time.Microsecond,
+			MaxDelay:    50 * time.Microsecond,
+		},
+	})
+	if err == nil {
+		t.Fatal("Dial against a dead listener succeeded")
+	}
+}
+
+// TestConcurrentSessionsRace is raw-protocol stress for the race detector:
+// several clients fire overlapping batch reads and view updates at a small
+// shared cache while the server is torn down under them.
+func TestConcurrentSessionsRace(t *testing.T) {
+	f := startService(t, svcOpts{
+		prefetch:   true,
+		cacheBytes: 8 * 2048, // churn: 8 blocks out of 64
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		r := dialPipe(t, f, 2)
+		wg.Add(1)
+		go func(c int, r *RemoteReader) {
+			defer wg.Done()
+			ids := f.g.All()
+			for i := 0; i < 10; i++ {
+				lo := (c*7 + i*5) % len(ids)
+				hi := lo + 16
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				r.SendView(ctx, vec.New(0, 0, 3))
+				_, errs := r.ReadBlocks(ctx, ids[lo:hi])
+				for _, err := range errs {
+					if err != nil && !faultio.Retryable(err) {
+						t.Errorf("client %d: permanent error on healthy store: %v", c, err)
+						return
+					}
+				}
+			}
+			r.Close()
+		}(c, r)
+	}
+	wg.Wait()
+	f.lis.Close()
+	f.srv.Close()
+}
+
+// TestServeTCP exercises the default TCP transport end to end on loopback.
+func TestServeTCP(t *testing.T) {
+	f := startService(t, svcOpts{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	go f.srv.Serve(l)
+	defer l.Close()
+	r, err := Dial(ClientConfig{Addr: l.Addr().String(), Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatalf("tcp dial: %v", err)
+	}
+	defer r.Close()
+	vals, errs := r.ReadBlocks(context.Background(), []grid.BlockID{0, 1, 2, 3})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		want, _ := f.bf.ReadBlock(grid.BlockID(i))
+		if len(vals[i]) != len(want) || vals[i][0] != want[0] {
+			t.Errorf("block %d mismatch over tcp", i)
+		}
+	}
+}
+
+// TestReadBlocksHonorsContext: a canceled context fails the batch without
+// poisoning the connection pool for later requests.
+func TestReadBlocksHonorsContext(t *testing.T) {
+	f := startService(t, svcOpts{})
+	r := dialPipe(t, f, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := r.ReadBlocks(ctx, []grid.BlockID{0, 1})
+	for _, err := range errs {
+		if err == nil {
+			t.Fatal("canceled read succeeded")
+		}
+	}
+	// The pool must recover: a fresh context works (redialing if needed).
+	vals, errs := r.ReadBlocks(context.Background(), []grid.BlockID{0})
+	if errs[0] != nil || vals[0] == nil {
+		t.Fatalf("pool poisoned after cancellation: %v", errs[0])
+	}
+}

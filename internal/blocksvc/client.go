@@ -1,0 +1,536 @@
+package blocksvc
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/store"
+	"repro/internal/vec"
+)
+
+// ClientConfig configures a RemoteReader.
+type ClientConfig struct {
+	// Addr is the server's TCP address. Ignored when Dial is set.
+	Addr string
+	// Dial, when non-nil, replaces the default TCP dialer (in-process
+	// transports, custom networks).
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Conns bounds the connection pool: the number of concurrently
+	// outstanding requests (default 2).
+	Conns int
+	// DialTimeout bounds one connect-plus-handshake (default 5s).
+	DialTimeout time.Duration
+	// Retry is the reconnect policy: how many times, and with what
+	// backoff, a failed dial is retried before a request gives up. Nil
+	// gets 4 attempts from 10ms doubling to 500ms.
+	Retry *faultio.Retrier
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Retry == nil {
+		c.Retry = &faultio.Retrier{
+			MaxAttempts: 4,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+		}
+	}
+	return c
+}
+
+// ClientStats counts client activity, snapshotted under one lock.
+type ClientStats struct {
+	Dials          int64 // successful connects (incl. reconnects)
+	DialRetries    int64 // extra dial attempts beyond each first
+	Requests       int64 // read requests sent
+	BlocksRequested int64
+	BlocksServed   int64 // blocks answered with payloads
+	RemoteFaults   int64 // blocks answered with fault statuses
+	ShedRequests   int64 // requests refused by server admission control
+	ChecksumErrors int64 // payloads rejected by wire CRC verification
+	TransportErrors int64 // torn connections (request failed mid-flight)
+	BytesReceived  int64 // payload bytes received
+	ViewUpdates    int64 // view messages sent
+}
+
+// RemoteReader reads blocks from a blocksvc server. It implements
+// store.BlockReader, store.ContextBlockReader, and store.BatchBlockReader,
+// so it drops into a store.MemCache (and therefore ooc.Runtime) exactly
+// where a local BlockFile would: a whole miss batch travels as one request
+// and returns per-block results. Transport failures surface as transient
+// faults — the layers above already know how to retry those — and
+// reconnection happens on the next request through the configured Retrier.
+// Safe for concurrent use; each pooled connection carries one request at a
+// time.
+type RemoteReader struct {
+	cfg  ClientConfig
+	dial func(ctx context.Context) (net.Conn, error)
+
+	header store.Header
+	g      *grid.Grid
+
+	slots chan struct{} // tokens: right to own one connection
+	idle  chan *rconn
+
+	mu     sync.Mutex
+	conns  map[*rconn]struct{}
+	closed bool
+
+	statsMu sync.Mutex
+	stats   ClientStats
+}
+
+// rconn is one pooled connection serving one request at a time.
+type rconn struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	session uint64
+	nextReq uint64
+}
+
+// Dial connects to a block service and learns the served geometry from its
+// welcome. The remaining pool connections are established lazily as
+// concurrent requests need them.
+func Dial(cfg ClientConfig) (*RemoteReader, error) {
+	cfg = cfg.withDefaults()
+	r := &RemoteReader{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.Conns),
+		idle:  make(chan *rconn, cfg.Conns),
+		conns: make(map[*rconn]struct{}),
+	}
+	r.dial = cfg.Dial
+	if r.dial == nil {
+		addr := cfg.Addr
+		r.dial = func(ctx context.Context) (net.Conn, error) {
+			d := net.Dialer{}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		r.slots <- struct{}{}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DialTimeout)
+	defer cancel()
+	conn, err := r.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.release(conn)
+	<-r.slots // the eager connection consumed one slot
+	return r, nil
+}
+
+// Header returns the served volume's header (from the welcome message).
+func (r *RemoteReader) Header() store.Header { return r.header }
+
+// Grid returns the served volume's block geometry.
+func (r *RemoteReader) Grid() *grid.Grid { return r.g }
+
+// connect dials and handshakes one connection, retrying with backoff under
+// the configured Retrier.
+func (r *RemoteReader) connect(ctx context.Context) (*rconn, error) {
+	var conn *rconn
+	attempts, err := r.cfg.Retry.Do(ctx, func(c context.Context) error {
+		tctx, cancel := context.WithTimeout(c, r.cfg.DialTimeout)
+		defer cancel()
+		raw, err := r.dial(tctx)
+		if err != nil {
+			return faultio.Transient(err)
+		}
+		rc, err := r.handshake(raw)
+		if err != nil {
+			raw.Close()
+			return err
+		}
+		conn = rc
+		return nil
+	})
+	r.count(func(s *ClientStats) { s.DialRetries += int64(attempts - 1) })
+	if err != nil {
+		return nil, fmt.Errorf("blocksvc: connect: %w", err)
+	}
+	r.count(func(s *ClientStats) { s.Dials++ })
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.c.Close()
+		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
+	}
+	r.conns[conn] = struct{}{}
+	r.mu.Unlock()
+	return conn, nil
+}
+
+// handshake exchanges hello/welcome and validates the geometry against the
+// first connection's.
+func (r *RemoteReader) handshake(raw net.Conn) (*rconn, error) {
+	rc := &rconn{
+		c:  raw,
+		br: bufio.NewReaderSize(raw, 256<<10),
+		bw: bufio.NewWriterSize(raw, 64<<10),
+	}
+	var e enc
+	e.u32(protoMagic)
+	e.u16(ProtoVersion)
+	if err := writeFrame(rc.bw, msgHello, e.b); err != nil {
+		return nil, faultio.Transient(err)
+	}
+	if err := rc.bw.Flush(); err != nil {
+		return nil, faultio.Transient(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(r.cfg.DialTimeout))
+	typ, payload, err := readFrame(rc.br)
+	raw.SetReadDeadline(time.Time{})
+	if err != nil {
+		return nil, faultio.Transient(err)
+	}
+	if typ == msgError {
+		// The server refused us deliberately (e.g. version mismatch);
+		// retrying the same hello cannot help.
+		return nil, fmt.Errorf("blocksvc: server refused: %s: %w",
+			payload, faultio.ErrPermanent)
+	}
+	d := dec{b: payload}
+	version := d.u16()
+	session := d.u64()
+	hdr := store.Header{
+		Res:      grid.Dims{X: int(d.u32()), Y: int(d.u32()), Z: int(d.u32())},
+		Block:    grid.Dims{X: int(d.u32()), Y: int(d.u32()), Z: int(d.u32())},
+		Variable: int32(d.u32()),
+		Blocks:   int32(d.u32()),
+		Version:  int32(d.u32()),
+	}
+	if typ != msgWelcome || !d.ok() || version != ProtoVersion {
+		return nil, fmt.Errorf("blocksvc: bad welcome: %w", faultio.ErrPermanent)
+	}
+	rc.session = session
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.g == nil {
+		g, err := grid.New(hdr.Res, hdr.Block)
+		if err != nil {
+			return nil, fmt.Errorf("blocksvc: server geometry: %v: %w", err, faultio.ErrPermanent)
+		}
+		r.header, r.g = hdr, g
+	} else if hdr != r.header {
+		return nil, fmt.Errorf("blocksvc: server geometry changed across connections: %w",
+			faultio.ErrPermanent)
+	}
+	return rc, nil
+}
+
+// acquire returns a pooled connection: an idle one when available, a fresh
+// dial when the pool has spare slots, otherwise it waits for a release.
+func (r *RemoteReader) acquire(ctx context.Context) (*rconn, error) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
+	}
+	select {
+	case rc := <-r.idle:
+		return rc, nil
+	default:
+	}
+	select {
+	case rc := <-r.idle:
+		return rc, nil
+	case <-r.slots:
+		rc, err := r.connect(ctx)
+		if err != nil {
+			r.slots <- struct{}{}
+			return nil, err
+		}
+		return rc, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release parks a healthy connection for reuse (or closes it when the
+// client has shut down).
+func (r *RemoteReader) release(rc *rconn) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		r.drop(rc)
+		return
+	}
+	r.idle <- rc
+}
+
+// drop discards a torn connection and frees its pool slot for a redial.
+func (r *RemoteReader) drop(rc *rconn) {
+	rc.c.Close()
+	r.mu.Lock()
+	delete(r.conns, rc)
+	r.mu.Unlock()
+	select {
+	case r.slots <- struct{}{}:
+	default:
+	}
+}
+
+// Close tears down every connection. In-flight requests fail transiently;
+// new requests fail permanently.
+func (r *RemoteReader) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for rc := range r.conns {
+		rc.c.Close()
+	}
+	r.mu.Unlock()
+	for {
+		select {
+		case <-r.idle:
+		default:
+			return nil
+		}
+	}
+}
+
+// Snapshot returns a consistent copy of the client counters under one lock.
+func (r *RemoteReader) Snapshot() ClientStats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+func (r *RemoteReader) count(f func(*ClientStats)) {
+	r.statsMu.Lock()
+	f(&r.stats)
+	r.statsMu.Unlock()
+}
+
+// ReadBlock implements store.BlockReader.
+func (r *RemoteReader) ReadBlock(id grid.BlockID) ([]float32, error) {
+	return r.ReadBlockContext(context.Background(), id)
+}
+
+// ReadBlockContext implements store.ContextBlockReader.
+func (r *RemoteReader) ReadBlockContext(ctx context.Context, id grid.BlockID) ([]float32, error) {
+	vals, errs := r.ReadBlocks(ctx, []grid.BlockID{id})
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return vals[0], nil
+}
+
+// ReadBlocks implements store.BatchBlockReader: one request frame carries
+// the whole batch, and the server streams back per-block results (the
+// store's merged sequential reads happen server-side). A transport failure
+// fails the outstanding blocks with a transient fault — the retry layers
+// above re-request, and the next request redials through the Retrier.
+func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
+	vals := make([][]float32, len(ids))
+	errs := make([]error, len(ids))
+	fail := func(err error) ([][]float32, []error) {
+		for i := range errs {
+			if vals[i] == nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return vals, errs
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	rc, err := r.acquire(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	r.count(func(s *ClientStats) { s.Requests++; s.BlocksRequested += int64(len(ids)) })
+
+	rc.nextReq++
+	req := rc.nextReq
+	var e enc
+	e.u64(req)
+	e.u32(deadlineMillis(ctx))
+	e.u32(uint32(len(ids)))
+	for _, id := range ids {
+		e.u32(uint32(id))
+	}
+
+	// A context that ends mid-request must tear the read loop out of its
+	// blocking Read; an expired deadline on the conn does exactly that.
+	stop := context.AfterFunc(ctx, func() {
+		rc.c.SetReadDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+
+	torn := func(err error) ([][]float32, []error) {
+		r.count(func(s *ClientStats) { s.TransportErrors++ })
+		r.drop(rc)
+		if cerr := ctx.Err(); cerr != nil {
+			return fail(cerr)
+		}
+		return fail(fmt.Errorf("blocksvc: connection lost: %v: %w", err, faultio.ErrTransient))
+	}
+
+	if err := writeFrame(rc.bw, msgRead, e.b); err != nil {
+		return torn(err)
+	}
+	if err := rc.bw.Flush(); err != nil {
+		return torn(err)
+	}
+
+	answered := 0
+	var served, bytes, faults int64
+	for answered < len(ids) {
+		typ, payload, err := readFrame(rc.br)
+		if err != nil {
+			return torn(err)
+		}
+		d := dec{b: payload}
+		switch typ {
+		case msgBlocks:
+			gotReq := d.u64()
+			idx := int(d.u32())
+			n := int(d.u16())
+			if gotReq != req || idx < 0 || idx+n > len(ids) {
+				return torn(fmt.Errorf("stray blocks frame"))
+			}
+			for k := 0; k < n; k++ {
+				i := idx + k
+				st := blockStatus(d.u8())
+				if st != statusOK {
+					errs[i] = blockErr(st, ids[i])
+					faults++
+					answered++
+					continue
+				}
+				nb := int(d.u32())
+				raw := d.take(nb)
+				sum := d.u32()
+				if d.bad {
+					return torn(fmt.Errorf("short blocks frame"))
+				}
+				if crc32.Checksum(raw, castagnoli) != sum {
+					r.count(func(s *ClientStats) { s.ChecksumErrors++ })
+					errs[i] = fmt.Errorf("blocksvc: block %d corrupted in transit: %w",
+						ids[i], faultio.Transient(faultio.ErrChecksum))
+					answered++
+					continue
+				}
+				out := make([]float32, nb/4)
+				for j := range out {
+					out[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*j:]))
+				}
+				vals[i] = out
+				served++
+				bytes += int64(nb)
+				answered++
+			}
+			if !d.ok() {
+				return torn(fmt.Errorf("bad blocks frame"))
+			}
+		case msgShed:
+			if d.u64() != req || !d.ok() {
+				return torn(fmt.Errorf("stray shed frame"))
+			}
+			r.count(func(s *ClientStats) { s.ShedRequests++ })
+			shed := fmt.Errorf("blocksvc: request shed: %w", faultio.Transient(ErrShed))
+			stop()
+			rc.c.SetReadDeadline(time.Time{})
+			r.release(rc)
+			return fail(shed)
+		case msgDone:
+			if d.u64() != req || !d.ok() {
+				return torn(fmt.Errorf("stray done frame"))
+			}
+			// Done before every block answered: protocol violation.
+			return torn(fmt.Errorf("done with %d of %d blocks unanswered",
+				len(ids)-answered, len(ids)))
+		case msgError:
+			return torn(fmt.Errorf("server error: %s", payload))
+		default:
+			return torn(fmt.Errorf("unexpected message type %d", typ))
+		}
+	}
+	// Consume the trailing done frame so the connection is clean for reuse.
+	typ, payload, err := readFrame(rc.br)
+	if err != nil {
+		return torn(err)
+	}
+	d := dec{b: payload}
+	if typ != msgDone || d.u64() != req || !d.ok() {
+		return torn(fmt.Errorf("expected done frame, got type %d", typ))
+	}
+	r.count(func(s *ClientStats) {
+		s.BlocksServed += served
+		s.RemoteFaults += faults
+		s.BytesReceived += bytes
+	})
+	// Clear any cancellation deadline the AfterFunc may have armed so the
+	// connection is reusable.
+	stop()
+	rc.c.SetReadDeadline(time.Time{})
+	r.release(rc)
+	return vals, errs
+}
+
+// SendView tells the server where this session's camera is, driving its
+// predictive prefetch into the shared cache. Best-effort: an error only
+// means the hint was lost.
+func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
+	rc, err := r.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.u64(math.Float64bits(pos.X))
+	e.u64(math.Float64bits(pos.Y))
+	e.u64(math.Float64bits(pos.Z))
+	if err := writeFrame(rc.bw, msgView, e.b); err != nil {
+		r.drop(rc)
+		return err
+	}
+	if err := rc.bw.Flush(); err != nil {
+		r.drop(rc)
+		return err
+	}
+	r.count(func(s *ClientStats) { s.ViewUpdates++ })
+	r.release(rc)
+	return nil
+}
+
+// deadlineMillis encodes ctx's deadline as milliseconds-from-now for the
+// wire (0 = none), so the server can shed work the client will no longer
+// wait for.
+func deadlineMillis(ctx context.Context) uint32 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > math.MaxUint32 {
+		return 0
+	}
+	return uint32(ms)
+}
+

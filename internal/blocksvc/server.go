@@ -1,0 +1,666 @@
+package blocksvc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/store"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// Config describes what a Server serves and how hard it may be pushed.
+type Config struct {
+	// Cache is the shared block cache every session reads through. Its
+	// singleflight miss path is what makes the server multi-session: N
+	// sessions demanding one cold block cost exactly one backing read.
+	Cache *store.MemCache
+	// Grid is the served volume's block geometry (request validation and
+	// per-request byte accounting).
+	Grid *grid.Grid
+	// Header is advertised to clients in the welcome message.
+	Header store.Header
+
+	// Vis and Imp enable per-session predictive prefetch: a client's view
+	// updates are run through T_visible and the entropy threshold Sigma,
+	// and the predicted high-entropy blocks are pulled into the shared
+	// cache while the client renders. Nil disables prefetch.
+	Vis   *visibility.Table
+	Imp   *entropy.Table
+	Sigma float64
+
+	// MaxInflightBytes caps the bytes of block data being served across all
+	// sessions at once; requests beyond it wait up to MaxQueueWait and are
+	// then shed. A single request larger than the cap is shed immediately —
+	// it could never be admitted (default 256 MiB).
+	MaxInflightBytes int64
+	// MaxSessionRequests caps one session's concurrently served requests;
+	// excess requests are shed, keeping one greedy client from starving the
+	// rest (default 8).
+	MaxSessionRequests int
+	// MaxQueueWait bounds how long a request may wait for admission before
+	// being shed. The client's deadline, when sooner, wins (default 100ms).
+	MaxQueueWait time.Duration
+	// MaxBlocksPerRequest bounds one read request (default 65536); larger
+	// requests are a protocol error.
+	MaxBlocksPerRequest int
+	// PrefetchQueue bounds each session's pending-prefetch queue; full
+	// queues drop predictions rather than block (default 128).
+	PrefetchQueue int
+	// ResponseRunBytes is the target payload size of one blocks frame; the
+	// response to a large read streams as a sequence of runs of roughly
+	// this size (default 2 MiB).
+	ResponseRunBytes int64
+	// HandshakeTimeout bounds how long a fresh connection may take to send
+	// its hello (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflightBytes <= 0 {
+		c.MaxInflightBytes = 256 << 20
+	}
+	if c.MaxSessionRequests <= 0 {
+		c.MaxSessionRequests = 8
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 100 * time.Millisecond
+	}
+	if c.MaxBlocksPerRequest <= 0 {
+		c.MaxBlocksPerRequest = 65536
+	}
+	if c.PrefetchQueue <= 0 {
+		c.PrefetchQueue = 128
+	}
+	if c.ResponseRunBytes <= 0 {
+		c.ResponseRunBytes = 2 << 20
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// ServerStats counts server activity. Taken as one consistent snapshot
+// under a single lock by Server.Snapshot.
+type ServerStats struct {
+	Sessions       int64 // connections that completed the handshake
+	ActiveSessions int64 // currently connected
+	Requests       int64 // read requests admitted and served
+	ShedRequests   int64 // read requests refused by admission control
+	Blocks         int64 // blocks answered (any status)
+	BlocksOK       int64 // blocks answered with payloads
+	BlocksFailed   int64 // blocks answered with fault statuses
+	BytesSent      int64 // payload bytes shipped
+	ViewUpdates    int64 // view messages received
+	PrefetchIssued   int64
+	PrefetchExecuted int64
+	PrefetchFailed   int64
+	PrefetchDropped  int64
+}
+
+// Server serves block reads to many concurrent sessions from one shared
+// cache. Start it with Serve (once per listener); stop it with Close.
+type Server struct {
+	cfg    Config
+	sem    *byteSem
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	sessions  map[*session]struct{}
+	nextID    uint64
+	closed    bool
+
+	statsMu sync.Mutex
+	stats   ServerStats
+}
+
+// NewServer validates the config and returns a server ready to Serve.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("blocksvc: nil cache")
+	}
+	if cfg.Grid == nil {
+		return nil, fmt.Errorf("blocksvc: nil grid")
+	}
+	if cfg.Vis != nil && cfg.Imp == nil {
+		return nil, fmt.Errorf("blocksvc: prefetch needs an importance table")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		sem:       newByteSem(cfg.MaxInflightBytes),
+		ctx:       ctx,
+		cancel:    cancel,
+		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[*session]struct{}),
+	}, nil
+}
+
+// Serve accepts sessions on l until the server is closed (returns nil) or
+// the listener fails. Multiple Serve calls on different listeners share
+// the cache and admission budget.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("blocksvc: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.StartSession(conn)
+	}
+}
+
+// StartSession runs one session over an already established connection
+// (Serve calls it per accept; in-process transports call it directly). The
+// connection is owned by the server afterwards. Returns false if the
+// server is closed.
+func (s *Server) StartSession(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	s.nextID++
+	ss := &session{
+		s:      s,
+		id:     s.nextID,
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 64<<10),
+		bw:     bufio.NewWriterSize(conn, 256<<10),
+		queued: make(map[grid.BlockID]struct{}),
+	}
+	ss.ctx, ss.cancel = context.WithCancel(s.ctx)
+	if s.cfg.Vis != nil {
+		ss.prefetchCh = make(chan grid.BlockID, s.cfg.PrefetchQueue)
+	}
+	s.sessions[ss] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ss.run()
+	}()
+	return true
+}
+
+// Close stops accepting, disconnects every session (canceling their
+// in-flight reads), and waits for all session goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cancel()
+	for l := range s.listeners {
+		l.Close()
+	}
+	for ss := range s.sessions {
+		ss.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Snapshot returns a consistent copy of the server counters under one lock.
+func (s *Server) Snapshot() ServerStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+func (s *Server) count(f func(*ServerStats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// blockBytes returns the payload size of a block, 0 for invalid ids (they
+// are answered with a permanent status, not read).
+func (s *Server) blockBytes(id grid.BlockID) int64 {
+	if int(id) < 0 || int(id) >= s.cfg.Grid.NumBlocks() {
+		return 0
+	}
+	return s.cfg.Grid.VoxelCount(id) * 4
+}
+
+// session is one client connection: a reader loop that admits requests,
+// goroutines serving them (responses serialized by writeMu), and an
+// optional prefetch worker driven by the client's view updates.
+type session struct {
+	s      *Server
+	id     uint64
+	conn   net.Conn
+	br     *bufio.Reader
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	writeMu sync.Mutex // serializes frames of concurrent responses
+	bw      *bufio.Writer
+
+	reqWG sync.WaitGroup
+
+	inflightMu sync.Mutex
+	inflight   int
+
+	prefetchCh chan grid.BlockID // nil when prefetch is disabled
+	queuedMu   sync.Mutex
+	queued     map[grid.BlockID]struct{}
+}
+
+// run owns the session lifecycle: handshake, read loop, teardown. On exit —
+// client disconnect, protocol error, or server close — the session context
+// is canceled first, so in-flight cache reads (and the store's merged-run
+// loop beneath them) stop instead of pinning server I/O for a client that
+// is gone.
+func (ss *session) run() {
+	defer func() {
+		ss.cancel()
+		ss.conn.Close()
+		ss.reqWG.Wait()
+		ss.s.mu.Lock()
+		delete(ss.s.sessions, ss)
+		ss.s.mu.Unlock()
+		ss.s.count(func(st *ServerStats) { st.ActiveSessions-- })
+	}()
+	// The deferred ActiveSessions-- must balance even when the handshake
+	// fails, so count the connection up front.
+	ss.s.count(func(st *ServerStats) { st.ActiveSessions++ })
+	if err := ss.handshake(); err != nil {
+		return
+	}
+	ss.s.count(func(st *ServerStats) { st.Sessions++ })
+	if ss.prefetchCh != nil {
+		ss.reqWG.Add(1)
+		go ss.prefetchLoop()
+	}
+	for {
+		typ, payload, err := readFrame(ss.br)
+		if err != nil {
+			return // disconnect or torn frame: tear the session down
+		}
+		switch typ {
+		case msgRead:
+			if !ss.handleRead(payload) {
+				return
+			}
+		case msgView:
+			if !ss.handleView(payload) {
+				return
+			}
+		default:
+			ss.fail(fmt.Sprintf("unexpected message type %d", typ))
+			return
+		}
+	}
+}
+
+// handshake validates the client hello and answers with the session id and
+// served geometry.
+func (ss *session) handshake() error {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.HandshakeTimeout))
+	typ, payload, err := readFrame(ss.br)
+	if err != nil {
+		return err
+	}
+	ss.conn.SetReadDeadline(time.Time{})
+	d := dec{b: payload}
+	magic, version := d.u32(), d.u16()
+	if typ != msgHello || !d.ok() || magic != protoMagic {
+		ss.fail("bad hello")
+		return fmt.Errorf("blocksvc: bad hello")
+	}
+	if version != ProtoVersion {
+		ss.fail(fmt.Sprintf("protocol version %d unsupported (server speaks %d)",
+			version, ProtoVersion))
+		return fmt.Errorf("blocksvc: version mismatch")
+	}
+	h := ss.s.cfg.Header
+	var e enc
+	e.u16(ProtoVersion)
+	e.u64(ss.id)
+	e.u32(uint32(h.Res.X))
+	e.u32(uint32(h.Res.Y))
+	e.u32(uint32(h.Res.Z))
+	e.u32(uint32(h.Block.X))
+	e.u32(uint32(h.Block.Y))
+	e.u32(uint32(h.Block.Z))
+	e.u32(uint32(h.Variable))
+	e.u32(uint32(h.Blocks))
+	e.u32(uint32(h.Version))
+	return ss.send(msgWelcome, e.b)
+}
+
+// send writes one frame under the write lock and flushes it.
+func (ss *session) send(typ byte, payload []byte) error {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	if err := writeFrame(ss.bw, typ, payload); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}
+
+// fail reports a fatal protocol error to the client; the caller closes the
+// session.
+func (ss *session) fail(msg string) {
+	ss.send(msgError, []byte(msg))
+}
+
+// handleRead admits one read request and serves it on its own goroutine
+// (requests pipeline; responses interleave at frame granularity, keyed by
+// request id). Returns false on a protocol error.
+func (ss *session) handleRead(payload []byte) bool {
+	d := dec{b: payload}
+	req := d.u64()
+	deadlineMillis := d.u32()
+	n := int(d.u32())
+	if d.bad || n > ss.s.cfg.MaxBlocksPerRequest {
+		ss.fail("bad read request")
+		return false
+	}
+	ids := make([]grid.BlockID, n)
+	var bytes int64
+	for i := range ids {
+		ids[i] = grid.BlockID(d.u32())
+		bytes += ss.s.blockBytes(ids[i])
+	}
+	if !d.ok() {
+		ss.fail("bad read request")
+		return false
+	}
+
+	// Per-session cap: shed rather than queue a greedy client's backlog.
+	ss.inflightMu.Lock()
+	if ss.inflight >= ss.s.cfg.MaxSessionRequests {
+		ss.inflightMu.Unlock()
+		ss.shed(req)
+		return true
+	}
+	ss.inflight++
+	ss.inflightMu.Unlock()
+
+	ss.reqWG.Add(1)
+	go func() {
+		defer ss.reqWG.Done()
+		defer func() {
+			ss.inflightMu.Lock()
+			ss.inflight--
+			ss.inflightMu.Unlock()
+		}()
+		ss.serveRead(req, ids, bytes, deadlineMillis)
+	}()
+	return true
+}
+
+// shed refuses one request with a retryable status.
+func (ss *session) shed(req uint64) {
+	ss.s.count(func(st *ServerStats) { st.ShedRequests++ })
+	var e enc
+	e.u64(req)
+	ss.send(msgShed, e.b)
+}
+
+// serveRead admits the request against the global in-flight byte budget,
+// reads through the shared cache in bounded runs, and streams the results.
+// Deadline-aware shedding: the request waits for admission at most
+// MaxQueueWait (or the client's own deadline, when sooner) and is then
+// refused with a retryable shed status instead of queueing unboundedly. A
+// request larger than the whole budget can never be admitted and is shed
+// immediately.
+func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadlineMillis uint32) {
+	reqCtx := ss.ctx
+	var cancel context.CancelFunc
+	if deadlineMillis > 0 {
+		reqCtx, cancel = context.WithTimeout(reqCtx, time.Duration(deadlineMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	if bytes > ss.s.cfg.MaxInflightBytes {
+		ss.shed(req)
+		return
+	}
+	admitCtx, admitCancel := context.WithTimeout(reqCtx, ss.s.cfg.MaxQueueWait)
+	err := ss.s.sem.Acquire(admitCtx, bytes)
+	admitCancel()
+	if err != nil {
+		if ss.ctx.Err() != nil {
+			return // session is gone; nobody is listening
+		}
+		ss.shed(req)
+		return
+	}
+	defer ss.s.sem.Release(bytes)
+	ss.s.count(func(st *ServerStats) { st.Requests++ })
+
+	// Serve and stream in runs of roughly ResponseRunBytes: results reach
+	// the client as they are produced and one request never stages the
+	// whole response in memory.
+	var e enc
+	idx := 0
+	for idx < len(ids) {
+		runEnd := idx
+		var runBytes int64
+		for runEnd < len(ids) && runEnd-idx < 65535 {
+			b := ss.s.blockBytes(ids[runEnd])
+			if runEnd > idx && runBytes+b > ss.s.cfg.ResponseRunBytes {
+				break
+			}
+			runBytes += b
+			runEnd++
+		}
+		run := ids[idx:runEnd]
+		vals, _, errs := ss.s.cfg.Cache.GetBatch(reqCtx, run)
+		if !ss.sendRun(&e, req, idx, run, vals, errs) {
+			return // write failed: connection is torn, stop serving
+		}
+		idx = runEnd
+	}
+	var done enc
+	done.u64(req)
+	ss.send(msgDone, done.b)
+}
+
+// sendRun encodes one run of results as blocks frames and ships them.
+func (ss *session) sendRun(e *enc, req uint64, firstIdx int, ids []grid.BlockID,
+	vals [][]float32, errs []error) bool {
+	var okCount, failCount, sent int64
+	e.reset()
+	e.u64(req)
+	e.u32(uint32(firstIdx))
+	e.u16(uint16(len(ids)))
+	for i := range ids {
+		if errs[i] != nil {
+			failCount++
+			e.u8(byte(statusOf(errs[i])))
+			continue
+		}
+		okCount++
+		e.u8(byte(statusOK))
+		off := len(e.b)
+		e.u32(uint32(len(vals[i]) * 4))
+		for _, v := range vals[i] {
+			e.u32(math.Float32bits(v))
+		}
+		e.u32(crc32.Checksum(e.b[off+4:], castagnoli))
+		sent += int64(len(vals[i]) * 4)
+	}
+	ss.s.count(func(st *ServerStats) {
+		st.Blocks += int64(len(ids))
+		st.BlocksOK += okCount
+		st.BlocksFailed += failCount
+		st.BytesSent += sent
+	})
+	return ss.send(msgBlocks, e.b) == nil
+}
+
+// handleView updates the session's predicted working set: the client's
+// camera position is run through T_visible and the entropy threshold, and
+// fresh high-entropy predictions are queued for prefetch into the shared
+// cache. Returns false on a protocol error.
+func (ss *session) handleView(payload []byte) bool {
+	d := dec{b: payload}
+	pos := vec.V3{
+		X: math.Float64frombits(d.u64()),
+		Y: math.Float64frombits(d.u64()),
+		Z: math.Float64frombits(d.u64()),
+	}
+	if !d.ok() {
+		ss.fail("bad view update")
+		return false
+	}
+	ss.s.count(func(st *ServerStats) { st.ViewUpdates++ })
+	if ss.prefetchCh == nil {
+		return true
+	}
+	var issued, dropped int64
+	for _, id := range ss.s.cfg.Vis.Predict(pos) {
+		if ss.s.cfg.Imp.Score(id) <= ss.s.cfg.Sigma || ss.s.cfg.Cache.Contains(id) {
+			continue
+		}
+		ss.queuedMu.Lock()
+		if _, dup := ss.queued[id]; dup {
+			ss.queuedMu.Unlock()
+			continue
+		}
+		ss.queued[id] = struct{}{}
+		ss.queuedMu.Unlock()
+		select {
+		case ss.prefetchCh <- id:
+			issued++
+		default:
+			ss.queuedMu.Lock()
+			delete(ss.queued, id)
+			ss.queuedMu.Unlock()
+			dropped++
+		}
+	}
+	if issued > 0 || dropped > 0 {
+		ss.s.count(func(st *ServerStats) {
+			st.PrefetchIssued += issued
+			st.PrefetchDropped += dropped
+		})
+	}
+	return true
+}
+
+// prefetchLoop pulls predicted blocks into the shared cache. Prefetches
+// coalesce with demand reads (the cache's singleflight), so a session
+// prefetching a block another session is demanding costs nothing extra.
+func (ss *session) prefetchLoop() {
+	defer ss.reqWG.Done()
+	for {
+		select {
+		case <-ss.ctx.Done():
+			return
+		case id := <-ss.prefetchCh:
+			err := ss.s.cfg.Cache.Prefetch(ss.ctx, id)
+			ss.queuedMu.Lock()
+			delete(ss.queued, id)
+			ss.queuedMu.Unlock()
+			ss.s.count(func(st *ServerStats) {
+				if err == nil {
+					st.PrefetchExecuted++
+				} else {
+					st.PrefetchFailed++
+				}
+			})
+		}
+	}
+}
+
+// byteSem is a context-aware weighted semaphore with FIFO admission: the
+// server's global in-flight byte budget.
+type byteSem struct {
+	mu      sync.Mutex
+	avail   int64
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	need  int64
+	ready chan struct{}
+}
+
+func newByteSem(capacity int64) *byteSem { return &byteSem{avail: capacity} }
+
+// Acquire takes n units, waiting FIFO behind earlier requests, until ctx
+// ends. The caller must Release exactly n on success.
+func (s *byteSem) Acquire(ctx context.Context, n int64) error {
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{need: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		granted := true
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if granted {
+			// Release raced the cancellation and already granted us the
+			// units; hand them back.
+			s.Release(n)
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns n units and admits as many queued waiters as now fit, in
+// arrival order.
+func (s *byteSem) Release(n int64) {
+	s.mu.Lock()
+	s.avail += n
+	for len(s.waiters) > 0 && s.waiters[0].need <= s.avail {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.need
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+

@@ -1,0 +1,242 @@
+// Package blocksvc is the networked face of the block store: a versioned,
+// length-prefixed binary wire protocol, a multi-session server that fronts
+// one shared store.MemCache (cross-session singleflight, per-session
+// view-driven prefetch, admission control with load shedding), and a
+// RemoteReader client implementing store.BlockReader and
+// store.BatchBlockReader so ooc.Runtime drives a remote store unmodified.
+//
+// # Wire format
+//
+// Every message is one frame: a 4-byte little-endian payload length, a
+// 1-byte message type, then the payload. A connection opens with
+// hello/welcome (magic + protocol version negotiation; the welcome carries
+// the served volume's geometry and a server-assigned session id), after
+// which the client sends read requests and view updates:
+//
+//	hello   c→s  magic u32, version u16
+//	welcome s→c  version u16, session u64, res 3×u32, block 3×u32,
+//	             variable u32, blocks u32, storeVersion u32
+//	read    c→s  req u64, deadlineMillis u32, n u32, n×u32 block ids
+//	view    c→s  camera position 3×f64 (no response; drives server prefetch)
+//	blocks  s→c  req u64, firstIdx u32, n u16, then per block:
+//	             status u8 [+ nbytes u32, payload, crc32c u32 when OK]
+//	done    s→c  req u64 (every requested index has been answered)
+//	shed    s→c  req u64 (request refused by admission control; retryable)
+//	error   s→c  message string (fatal protocol error; connection closes)
+//
+// Responses stream: the server answers a read with a sequence of blocks
+// frames — one per merged run of consecutive results — and a final done.
+// Block payloads are raw little-endian float32 voxels guarded by a CRC32C
+// so in-transit corruption is detected at the client and classified as a
+// retryable checksum fault.
+//
+// # Fault classes over the wire
+//
+// Per-block status bytes carry the faultio classification across the
+// network, so the client can rebuild an error that answers errors.Is
+// exactly like the server-side original: transient faults stay retryable,
+// permanent and on-disk checksum faults stay permanent, and a shed request
+// maps to ErrShed wrapped as transient (retry later is the intended
+// response).
+package blocksvc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/faultio"
+	"repro/internal/grid"
+)
+
+// Protocol identity. The version is negotiated at hello/welcome: a server
+// refuses a client whose version it does not speak, with msgError.
+const (
+	protoMagic   uint32 = 0x62737663 // "bsvc"
+	ProtoVersion uint16 = 1
+)
+
+// Message types.
+const (
+	msgHello   byte = 1
+	msgWelcome byte = 2
+	msgRead    byte = 3
+	msgView    byte = 4
+	msgBlocks  byte = 5
+	msgDone    byte = 6
+	msgShed    byte = 7
+	msgError   byte = 8
+)
+
+// maxFrameBytes bounds any single frame so a corrupt length prefix cannot
+// make either side allocate unboundedly.
+const maxFrameBytes = 64 << 20
+
+// frameHeaderSize is the fixed prefix of every frame: length + type.
+const frameHeaderSize = 5
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrShed marks a request refused by the server's admission control. It is
+// always delivered wrapped as a transient fault: the server is alive but
+// over capacity, and retrying after backoff is exactly what the client's
+// existing retry policy does.
+var ErrShed = errors.New("blocksvc: shed by server admission control")
+
+// blockStatus is the per-block result class carried over the wire.
+type blockStatus uint8
+
+const (
+	statusOK            blockStatus = 0
+	statusTransient     blockStatus = 1 // retryable server-side fault
+	statusPermanent     blockStatus = 2 // not retryable (bad id, media loss)
+	statusChecksum      blockStatus = 3 // on-disk rot at the server: permanent
+	statusChecksumRetry blockStatus = 4 // corruption in transit to the server: transient
+	statusShed          blockStatus = 5 // admission control refused the work
+	statusCanceled      blockStatus = 6 // request context ended server-side
+)
+
+// statusOf classifies a server-side read error for the wire.
+func statusOf(err error) blockStatus {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, faultio.ErrChecksum):
+		if faultio.Retryable(err) {
+			return statusChecksumRetry
+		}
+		return statusChecksum
+	case errors.Is(err, ErrShed):
+		return statusShed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusCanceled
+	case faultio.Retryable(err):
+		return statusTransient
+	default:
+		return statusPermanent
+	}
+}
+
+// blockErr rebuilds a client-side error for a non-OK status, preserving the
+// faultio classification so retry policies behave identically against a
+// remote store and a local one.
+func blockErr(st blockStatus, id grid.BlockID) error {
+	switch st {
+	case statusOK:
+		return nil
+	case statusTransient:
+		return fmt.Errorf("blocksvc: block %d failed at server: %w", id, faultio.ErrTransient)
+	case statusPermanent:
+		return fmt.Errorf("blocksvc: block %d lost at server: %w", id, faultio.ErrPermanent)
+	case statusChecksum:
+		return fmt.Errorf("blocksvc: block %d rotten at server: %w",
+			id, faultio.Permanent(faultio.ErrChecksum))
+	case statusChecksumRetry:
+		return fmt.Errorf("blocksvc: block %d corrupted in server transit: %w",
+			id, faultio.Transient(faultio.ErrChecksum))
+	case statusShed:
+		return fmt.Errorf("blocksvc: block %d: %w", id, faultio.Transient(ErrShed))
+	case statusCanceled:
+		return fmt.Errorf("blocksvc: block %d canceled at server: %w", id, faultio.ErrTransient)
+	default:
+		return fmt.Errorf("blocksvc: block %d: unknown status %d: %w", id, st, faultio.ErrPermanent)
+	}
+}
+
+// writeFrame emits one frame. The caller flushes any buffering.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("blocksvc: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting oversized length prefixes.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("blocksvc: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// enc appends fixed-width little-endian fields to a reusable buffer.
+type enc struct{ b []byte }
+
+func (e *enc) reset()        { e.b = e.b[:0] }
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) raw(p []byte)  { e.b = append(e.b, p...) }
+
+// dec consumes fixed-width little-endian fields; a short buffer trips the
+// bad flag instead of panicking, checked once at the end with ok().
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) take(n int) []byte {
+	if d.bad || len(d.b) < n {
+		d.bad = true
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *dec) u8() byte {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// ok reports whether every field decoded and the payload was fully
+// consumed (trailing garbage is a protocol error too).
+func (d *dec) ok() bool { return !d.bad && len(d.b) == 0 }

@@ -86,7 +86,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts runtime activity. Read with Snapshot.
+// Stats counts runtime activity. Counters that belong together (a frame's
+// reads, retries, and its degraded flag) are committed together under one
+// lock, so a Runtime.Snapshot taken while frames run is internally
+// consistent rather than a torn mix of per-field loads.
 type Stats struct {
 	Frames         int64
 	DemandReads    int64 // demand misses that actually read the backing store
@@ -102,6 +105,23 @@ type Stats struct {
 	PrefetchDropped  int64
 	PrefetchExecuted int64
 	PrefetchFailed   int64
+}
+
+// add accumulates d into s.
+func (s *Stats) add(d *Stats) {
+	s.Frames += d.Frames
+	s.DemandReads += d.DemandReads
+	s.DemandHits += d.DemandHits
+	s.DemandBatches += d.DemandBatches
+	s.DegradedFrames += d.DegradedFrames
+	s.FailedReads += d.FailedReads
+	s.Retries += d.Retries
+	s.ChecksumErrors += d.ChecksumErrors
+	s.PrefetchIssued += d.PrefetchIssued
+	s.PrefetchDeduped += d.PrefetchDeduped
+	s.PrefetchDropped += d.PrefetchDropped
+	s.PrefetchExecuted += d.PrefetchExecuted
+	s.PrefetchFailed += d.PrefetchFailed
 }
 
 // FrameReport describes how completely a frame was served. A degraded
@@ -146,19 +166,11 @@ type Runtime struct {
 	queuedMu sync.Mutex
 	queued   map[grid.BlockID]struct{}
 
-	frames           atomic.Int64
-	demandReads      atomic.Int64
-	demandHits       atomic.Int64
-	demandBatches    atomic.Int64
-	degradedFrames   atomic.Int64
-	failedReads      atomic.Int64
-	retries          atomic.Int64
-	checksumErrors   atomic.Int64
-	prefetchIssued   atomic.Int64
-	prefetchDeduped  atomic.Int64
-	prefetchDropped  atomic.Int64
-	prefetchExecuted atomic.Int64
-	prefetchFailed   atomic.Int64
+	// stats is the runtime's counter set. Hot paths accumulate into
+	// frame-local deltas and commit them here in one merge, so Snapshot
+	// (same lock) sees whole frames, never a half-counted one.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // New starts the runtime's demand and prefetch workers.
@@ -204,11 +216,13 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 				// means the block will be demand-read (with retries)
 				// later. The cache coalesces this with any concurrent
 				// demand read of the same block.
+				var d Stats
 				if err := r.cache.Prefetch(context.Background(), id); err == nil {
-					r.prefetchExecuted.Add(1)
+					d.PrefetchExecuted = 1
 				} else {
-					r.prefetchFailed.Add(1)
+					d.PrefetchFailed = 1
 				}
+				r.addStats(&d)
 				r.queuedMu.Lock()
 				delete(r.queued, id)
 				r.queuedMu.Unlock()
@@ -224,9 +238,10 @@ type frameState struct {
 	r   *Runtime
 	out [][]float32
 
-	wg  sync.WaitGroup
-	mu  sync.Mutex
-	rep *FrameReport
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	rep   *FrameReport
+	stats Stats // per-job deltas, merged under mu; read after wg.Wait
 }
 
 // demandJob is one offset-contiguous chunk of a frame's miss set: a batch
@@ -241,30 +256,34 @@ type demandJob struct {
 
 func (j *demandJob) run() {
 	fs, r := j.fs, j.fs.r
-	r.demandBatches.Add(1)
+	var d Stats
+	d.DemandBatches = 1
 	vals, hits, errs := r.cache.GetBatch(fs.ctx, j.ids)
 	for k := range j.ids {
 		switch {
 		case errs[k] == nil:
 			fs.out[j.idxs[k]] = vals[k]
 			if hits[k] {
-				r.demandHits.Add(1)
+				d.DemandHits++
 			} else {
-				r.demandReads.Add(1)
+				d.DemandReads++
 			}
 		default:
 			if errors.Is(errs[k], faultio.ErrChecksum) {
-				r.checksumErrors.Add(1)
+				d.ChecksumErrors++
 			}
-			j.retryBlock(k, errs[k])
+			j.retryBlock(k, errs[k], &d)
 		}
 	}
+	fs.mu.Lock()
+	fs.stats.add(&d)
+	fs.mu.Unlock()
 }
 
 // retryBlock re-reads one block whose batch attempt failed, under the
 // runtime's retry policy, and settles its final state (served, canceled, or
-// missing).
-func (j *demandJob) retryBlock(k int, batchErr error) {
+// missing). Counter updates go to the job-local delta d.
+func (j *demandJob) retryBlock(k int, batchErr error, d *Stats) {
 	fs, r := j.fs, j.fs.r
 	id, idx := j.ids[k], j.idxs[k]
 	err := batchErr
@@ -274,20 +293,20 @@ func (j *demandJob) retryBlock(k int, batchErr error) {
 			vals, hit, e := r.cache.Get(c, id)
 			if e != nil {
 				if errors.Is(e, faultio.ErrChecksum) {
-					r.checksumErrors.Add(1)
+					d.ChecksumErrors++
 				}
 				return e
 			}
 			fs.out[idx] = vals
 			if hit {
-				r.demandHits.Add(1)
+				d.DemandHits++
 			} else {
-				r.demandReads.Add(1)
+				d.DemandReads++
 			}
 			return nil
 		})
 		// Every attempt here is beyond the block's first (batch) attempt.
-		r.retries.Add(int64(attempts))
+		d.Retries += int64(attempts)
 	}
 	switch {
 	case err == nil:
@@ -298,7 +317,7 @@ func (j *demandJob) retryBlock(k int, batchErr error) {
 		// Frame-level cancellation, reported by Frame itself; not a
 		// storage loss.
 	default:
-		r.failedReads.Add(1)
+		d.FailedReads++
 		fs.mu.Lock()
 		if fs.rep.Failures == nil {
 			fs.rep.Failures = make(map[grid.BlockID]error)
@@ -344,7 +363,8 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	if err := ctx.Err(); err != nil {
 		return nil, rep, err
 	}
-	r.frames.Add(1)
+	var local Stats
+	local.Frames = 1
 	out := make([][]float32, len(visible))
 
 	// Inline fast path: serve every warm block without touching a worker.
@@ -352,7 +372,7 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	for i, id := range visible {
 		if vals, ok := r.cache.GetCached(id); ok {
 			out[i] = vals
-			r.demandHits.Add(1)
+			local.DemandHits++
 		} else {
 			missIdx = append(missIdx, i)
 		}
@@ -386,15 +406,17 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 			r.dispatch(job)
 		}
 		fs.wg.Wait()
+		local.add(&fs.stats) // all jobs done: no further writers
 	}
 
 	if err := ctx.Err(); err != nil {
+		r.addStats(&local)
 		return nil, FrameReport{}, err
 	}
 	if len(rep.Missing) > 0 {
 		sort.Slice(rep.Missing, func(a, b int) bool { return rep.Missing[a] < rep.Missing[b] })
 		rep.Degraded = true
-		r.degradedFrames.Add(1)
+		local.DegradedFrames = 1
 	}
 
 	// Schedule prediction-driven prefetch; never block the frame. The read
@@ -410,43 +432,41 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 			r.queuedMu.Lock()
 			if _, dup := r.queued[id]; dup {
 				r.queuedMu.Unlock()
-				r.prefetchDeduped.Add(1)
+				local.PrefetchDeduped++
 				continue
 			}
 			r.queued[id] = struct{}{}
 			r.queuedMu.Unlock()
 			select {
 			case r.prefetchCh <- id:
-				r.prefetchIssued.Add(1)
+				local.PrefetchIssued++
 			default:
 				r.queuedMu.Lock()
 				delete(r.queued, id)
 				r.queuedMu.Unlock()
-				r.prefetchDropped.Add(1)
+				local.PrefetchDropped++
 			}
 		}
 	}
 	r.mu.RUnlock()
+	r.addStats(&local)
 	return out, rep, nil
 }
 
-// Snapshot returns current counters.
+// addStats commits a local counter delta in one critical section.
+func (r *Runtime) addStats(d *Stats) {
+	r.statsMu.Lock()
+	r.stats.add(d)
+	r.statsMu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the runtime counters, taken under
+// the same lock their updates commit through — a caller printing stats
+// while frames run never observes a frame's counters half-applied.
 func (r *Runtime) Snapshot() Stats {
-	return Stats{
-		Frames:           r.frames.Load(),
-		DemandReads:      r.demandReads.Load(),
-		DemandHits:       r.demandHits.Load(),
-		DemandBatches:    r.demandBatches.Load(),
-		DegradedFrames:   r.degradedFrames.Load(),
-		FailedReads:      r.failedReads.Load(),
-		Retries:          r.retries.Load(),
-		ChecksumErrors:   r.checksumErrors.Load(),
-		PrefetchIssued:   r.prefetchIssued.Load(),
-		PrefetchDeduped:  r.prefetchDeduped.Load(),
-		PrefetchDropped:  r.prefetchDropped.Load(),
-		PrefetchExecuted: r.prefetchExecuted.Load(),
-		PrefetchFailed:   r.prefetchFailed.Load(),
-	}
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
 }
 
 // CacheStats returns the underlying cache's hit/miss counts.

@@ -862,3 +862,30 @@ func TestInertInjectorForwardsBatches(t *testing.T) {
 		t.Errorf("injector counted %d reads, want %d", got, len(ids))
 	}
 }
+
+// TestReadBlocksCanceledContext pins the merged-run loop's cancellation
+// contract: a context that is already done fails every remaining block with
+// the context error before any physical read is issued — the behavior the
+// block service relies on to stop serving a disconnected session.
+func TestReadBlocksCanceledContext(t *testing.T) {
+	path, _, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	vals, errs := bf.ReadBlocks(ctx, g.All())
+	for i := range errs {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("block %d: err = %v, want context.Canceled", i, errs[i])
+		}
+		if vals[i] != nil {
+			t.Fatalf("block %d: data returned despite cancellation", i)
+		}
+	}
+	if st := bf.IOStats(); st.MergedRuns != 0 {
+		t.Errorf("%d physical reads issued under a canceled context", st.MergedRuns)
+	}
+}
