@@ -1,16 +1,20 @@
 # Pre-PR checks. `make check` is the gate: vet, build, full tests, the race
-# detector over the concurrent real-I/O packages, and a one-iteration bench
-# smoke so benchmark code can't rot.
+# detector over the concurrent real-I/O packages, the fuzz seed corpus, a
+# one-iteration bench smoke so benchmark code can't rot, and the frame-path
+# perf gate against the committed baseline.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./cmd/vizserver/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/obs/... ./internal/testutil/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
 BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/...
 
-.PHONY: check vet build test race bench bench-all bench-smoke
+# Packages with fuzz targets; fuzz-smoke replays their seed corpora.
+FUZZ_PKGS := ./internal/blocksvc/...
 
-check: vet build test race bench-smoke
+.PHONY: check vet build test race fuzz-smoke bench bench-all bench-smoke bench-check
+
+check: vet build test race fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -37,3 +41,14 @@ bench-all:
 # fast enough for the check gate, enough to catch bit-rotted bench code.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(BENCH_PKGS) >/dev/null
+
+# bench-check is the perf gate: rerun the frame hot path and fail if ns/op
+# regressed more than 25% past the committed baseline. Re-record with
+# `make bench` (and commit the JSON) when a deliberate change moves it.
+bench-check:
+	$(GO) test -bench='^BenchmarkFrame$$' -benchmem -run='^$$' ./internal/ooc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+
+# fuzz-smoke replays each fuzz target's seed corpus as ordinary tests, so a
+# decoder change that panics on a known-interesting input fails the gate.
+fuzz-smoke:
+	$(GO) test -run='^Fuzz' $(FUZZ_PKGS)

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/ooc/... | benchjson -out results/BENCH_ooc.json
+//	go test -bench=. -benchmem ./internal/ooc/... | benchjson -check results/BENCH_ooc.json
+//
+// With -out, parsed results are recorded. With -check, they are compared
+// against the named baseline instead: any benchmark present in both whose
+// ns/op regressed by more than -max-regress percent fails the run — the
+// repo's perf gate. Benchmark names are matched with their -GOMAXPROCS
+// suffix stripped, so a baseline recorded as "BenchmarkFrame" gates a run
+// reported as "BenchmarkFrame-8".
 //
 // Non-benchmark lines (package headers, PASS/ok, warmup noise) are ignored,
 // so the raw `go test` stream can be piped straight through. The input is
@@ -16,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -24,7 +33,7 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`               // e.g. BenchmarkFrame-8
+	Name        string  `json:"name"` // e.g. BenchmarkFrame-8
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`  // -benchmem
@@ -39,32 +48,47 @@ type File struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON path (required)")
+	out := flag.String("out", "", "output JSON path (record mode)")
+	check := flag.String("check", "", "baseline JSON path (compare mode)")
+	maxRegress := flag.Float64("max-regress", 25,
+		"with -check: fail if ns/op regresses more than this percent")
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -check is required")
 		os.Exit(2)
 	}
 
-	doc := File{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line)
-		if r, ok := parseLine(line); ok {
-			doc.Results = append(doc.Results, r)
-		} else if v, ok := strings.CutPrefix(line, "goversion: "); ok {
-			doc.GoVersion = v
+	doc, err := parseStream(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check != "" {
+		buf, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
-		os.Exit(1)
-	}
-	if len(doc.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(1)
+		var baseline File
+		if err := json.Unmarshal(buf, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		compared, regressions := compare(baseline, doc, *maxRegress)
+		if compared == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark on stdin matches the baseline %s\n", *check)
+			os.Exit(1)
+		}
+		for _, msg := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", msg)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+			compared, *maxRegress, *check)
+		return
 	}
 
 	if dir := filepath.Dir(*out); dir != "." {
@@ -84,6 +108,71 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parseStream parses benchmark lines from r, echoing every line to echo.
+func parseStream(r io.Reader, echo io.Writer) (File, error) {
+	doc := File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if res, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, res)
+		} else if v, ok := strings.CutPrefix(line, "goversion: "); ok {
+			doc.GoVersion = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return doc, fmt.Errorf("reading input: %v", err)
+	}
+	if len(doc.Results) == 0 {
+		return doc, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return doc, nil
+}
+
+// normalizeName strips the -GOMAXPROCS suffix go test appends, so results
+// recorded on machines with different core counts still match up.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare gates current against baseline: for every benchmark present in
+// both (by normalized name), ns/op may grow by at most maxRegress percent.
+// Returns the number of benchmarks compared and a message per regression.
+// Benchmarks only in one document are ignored — adding or retiring a
+// benchmark must not break the gate.
+func compare(baseline, current File, maxRegress float64) (int, []string) {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[normalizeName(r.Name)] = r
+	}
+	compared := 0
+	var regressions []string
+	for _, cur := range current.Results {
+		b, ok := base[normalizeName(cur.Name)]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		limit := b.NsPerOp * (1 + maxRegress/100)
+		if cur.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
+				normalizeName(cur.Name), cur.NsPerOp, b.NsPerOp,
+				100*(cur.NsPerOp/b.NsPerOp-1), maxRegress))
+		}
+	}
+	return compared, regressions
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

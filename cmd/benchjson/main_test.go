@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkFrame-8   \t   21964\t     54675 ns/op\t   11212 B/op\t     149 allocs/op")
@@ -30,5 +33,75 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Errorf("accepted non-benchmark line %q", bad)
 		}
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFrame-8":       "BenchmarkFrame",
+		"BenchmarkFrame-128":     "BenchmarkFrame",
+		"BenchmarkFrame":         "BenchmarkFrame",
+		"BenchmarkGet-cold-16":   "BenchmarkGet-cold",
+		"BenchmarkGet-cold":      "BenchmarkGet-cold",
+		"BenchmarkObserve/p99-4": "BenchmarkObserve/p99",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCompare pins the -check gate: a regression past the threshold fails,
+// growth inside it passes, and benchmarks missing from either side are
+// ignored rather than failing the gate.
+func TestCompare(t *testing.T) {
+	baseline := File{Results: []Result{
+		{Name: "BenchmarkFrame", NsPerOp: 10000},
+		{Name: "BenchmarkGet", NsPerOp: 200},
+		{Name: "BenchmarkRetired", NsPerOp: 50},
+	}}
+	current := File{Results: []Result{
+		{Name: "BenchmarkFrame-8", NsPerOp: 12000}, // +20%: inside a 25% limit
+		{Name: "BenchmarkGet-8", NsPerOp: 300},     // +50%: regression
+		{Name: "BenchmarkNew-8", NsPerOp: 1},       // no baseline: ignored
+	}}
+	compared, regs := compare(baseline, current, 25)
+	if compared != 2 {
+		t.Errorf("compared %d benchmarks, want 2", compared)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkGet") {
+		t.Errorf("regressions = %q, want exactly BenchmarkGet", regs)
+	}
+	if _, regs := compare(baseline, current, 60); len(regs) != 0 {
+		t.Errorf("60%% limit still flags: %q", regs)
+	}
+	if compared, _ := compare(File{}, current, 25); compared != 0 {
+		t.Errorf("empty baseline compared %d benchmarks", compared)
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+goversion: go1.24.0
+BenchmarkFrame-8   21964   54675 ns/op   11212 B/op   149 allocs/op
+PASS
+ok  	repro/internal/ooc	2.463s
+`)
+	var echo strings.Builder
+	doc, err := parseStream(in, &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Name != "BenchmarkFrame-8" {
+		t.Errorf("results = %+v", doc.Results)
+	}
+	if doc.GoVersion != "go1.24.0" {
+		t.Errorf("go version = %q", doc.GoVersion)
+	}
+	if !strings.Contains(echo.String(), "PASS") {
+		t.Error("input not echoed through")
+	}
+	if _, err := parseStream(strings.NewReader("PASS\n"), &echo); err == nil {
+		t.Error("benchmark-free input accepted")
 	}
 }

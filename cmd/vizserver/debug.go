@@ -1,0 +1,22 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// debugMux builds the opt-in debug endpoint: the live metrics snapshot as
+// JSON at /debug/metrics plus the standard pprof handlers at /debug/pprof/.
+// Shared by main (-debug-addr) and the e2e debug test.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

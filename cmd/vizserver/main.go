@@ -10,6 +10,7 @@
 //	vizserver -addr 127.0.0.1:9123 -dataset 3d_ball -scale 0.25 -blocks 2048
 //	          [-cache-frac 0.5] [-sigma-quantile 0.75] [-no-prefetch]
 //	          [-max-inflight-mb 256] [-max-session-reqs 8] [-queue-wait 100ms]
+//	          [-debug-addr 127.0.0.1:9124]
 //	          [-fail-rate 0 -perm-frac 0 -corrupt-rate 0 -io-latency 0]
 //
 // Clients (vizsim -realio -remote addr) must be started with the same
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/entropy"
 	"repro/internal/faultio"
+	"repro/internal/obs"
 	"repro/internal/radius"
 	"repro/internal/store"
 	"repro/internal/vec"
@@ -52,9 +55,12 @@ func main() {
 		quantile = flag.Float64("sigma-quantile", 0.75, "entropy quantile below which blocks are not prefetched")
 		noPre    = flag.Bool("no-prefetch", false, "disable server-side view-driven prefetch")
 
-		maxMB    = flag.Int64("max-inflight-mb", 256, "admission: in-flight payload budget, MiB")
-		maxReqs  = flag.Int("max-session-reqs", 8, "admission: concurrent requests per session")
-		maxWait  = flag.Duration("queue-wait", 100*time.Millisecond, "admission: longest wait before a request is shed")
+		maxMB   = flag.Int64("max-inflight-mb", 256, "admission: in-flight payload budget, MiB")
+		maxReqs = flag.Int("max-session-reqs", 8, "admission: concurrent requests per session")
+		maxWait = flag.Duration("queue-wait", 100*time.Millisecond, "admission: longest wait before a request is shed")
+
+		debugAddr = flag.String("debug-addr", "",
+			"optional HTTP debug listen address (JSON metrics at /debug/metrics, pprof at /debug/pprof/)")
 
 		failRate    = flag.Float64("fail-rate", 0, "injected transient read-failure probability")
 		permFrac    = flag.Float64("perm-frac", 0, "fraction of injected failures that are permanent")
@@ -111,6 +117,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	reg := obs.NewRegistry()
+	mc.Instrument(reg)
 
 	cfg := blocksvc.Config{
 		Cache:              mc,
@@ -119,6 +127,7 @@ func main() {
 		MaxInflightBytes:   *maxMB << 20,
 		MaxSessionRequests: *maxReqs,
 		MaxQueueWait:       *maxWait,
+		Metrics:            reg,
 	}
 	if !*noPre {
 		imp := entropy.Build(ds, g, entropy.Options{})
@@ -147,6 +156,16 @@ func main() {
 	}
 	fmt.Printf("serving            %s on %s (cache %d MiB, prefetch %v)\n",
 		ds.Name, l.Addr(), capacity>>20, !*noPre)
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer dl.Close()
+		go http.Serve(dl, debugMux(reg))
+		fmt.Printf("debug endpoint     http://%s/debug/metrics (pprof under /debug/pprof/)\n", dl.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()

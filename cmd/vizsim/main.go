@@ -17,7 +17,9 @@
 // prefetch stats. With -remote addr the blocks come from a running vizserver
 // instead of local disk: the runtime reads through a pooled blocksvc client,
 // sends its camera positions so the server prefetches ahead of the session,
-// and reports wire-level fault/shed counters.
+// and reports wire-level fault/shed counters. -metrics 2s prints live
+// registry snapshots while frames run and ends with the frame-phase
+// (visibility/demand-wait/render/prefetch-issue) latency breakdown.
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/blocksvc"
@@ -34,6 +38,7 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/faultio"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/ooc"
 	"repro/internal/radius"
 	"repro/internal/sim"
@@ -63,6 +68,7 @@ func main() {
 
 		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
 		remote      = flag.String("remote", "", "realio: read blocks from a vizserver at this address instead of local disk")
+		metrics     = flag.Duration("metrics", 0, "realio: print a live metrics snapshot at this interval, plus a final frame-phase breakdown (0 = off)")
 		cacheFrac   = flag.Float64("cache-frac", 0.25, "realio: in-memory cache size as a fraction of the dataset")
 		failRate    = flag.Float64("fail-rate", 0, "realio: injected transient read-failure probability")
 		permFrac    = flag.Float64("perm-frac", 0, "realio: fraction of injected failures that are permanent")
@@ -138,7 +144,7 @@ func main() {
 			PermanentFrac: *permFrac,
 			CorruptRate:   *corruptRate,
 			Latency:       *ioLatency,
-		}, *readTimeout)
+		}, *readTimeout, *metrics)
 		if err != nil {
 			fatal(err)
 		}
@@ -193,9 +199,13 @@ func main() {
 // alongside cache and prefetch stats. The backing store is either a locally
 // materialized checksummed block file or, with remote set, a vizserver
 // reached over the blocksvc protocol (the injector then models client-side
-// faults on top of whatever the server injects).
+// faults on top of whatever the server injects). With metricsEvery > 0 a
+// reporter prints live registry snapshots while frames run, and the run ends
+// with the frame-phase latency breakdown.
 func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
-	remote string, cacheFrac float64, inject faultio.InjectorConfig, readDeadline time.Duration) error {
+	remote string, cacheFrac float64, inject faultio.InjectorConfig,
+	readDeadline, metricsEvery time.Duration) error {
+	reg := obs.NewRegistry()
 	var (
 		reader store.BlockReader
 		bf     *store.BlockFile
@@ -203,7 +213,7 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		err    error
 	)
 	if remote != "" {
-		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Addr: remote, Conns: 4})
+		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Addr: remote, Conns: 4, Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -250,6 +260,7 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	// The simulation drops frame data as soon as counters are tallied, so
 	// evicted decode buffers can be recycled safely.
 	mc.EnableRecycling()
+	mc.Instrument(reg)
 	imp := entropy.Build(ds, g, entropy.Options{})
 	nAz, nEl, nDist := visibility.LatticeForTotal(25920, 10)
 	vis, err := visibility.NewTable(g, visibility.Options{
@@ -266,14 +277,36 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		Sigma:           imp.ThresholdForQuantile(0.75),
 		PrefetchWorkers: 4,
 		ReadDeadline:    readDeadline,
+		Metrics:         reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
 
+	var reporter sync.WaitGroup
+	if metricsEvery > 0 {
+		stop := make(chan struct{})
+		defer func() { close(stop); reporter.Wait() }()
+		reporter.Add(1)
+		go func() {
+			defer reporter.Done()
+			tick := time.NewTicker(metricsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					reportMetrics(reg)
+				}
+			}
+		}()
+	}
+
 	ctx := context.Background()
 	var missing int
+	var touched float64
 	wall := time.Now()
 	for _, pos := range p.Steps {
 		if rr != nil {
@@ -281,14 +314,26 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 			// prefetch works ahead of this session.
 			rr.SendView(ctx, pos)
 		}
+		visSpan := rt.Phases().Begin(obs.PhaseVisibility)
 		visible := visibility.VisibleSet(g, camera.Camera{Pos: pos, ViewAngle: theta})
-		_, rep, err := rt.Frame(ctx, pos, visible)
+		visSpan.End()
+		data, rep, err := rt.Frame(ctx, pos, visible)
 		if err != nil {
 			return err
 		}
+		// The stand-in for rendering: touch every visible block's payload
+		// once, then drop it so the cache can recycle the buffers.
+		renderSpan := rt.Phases().Begin(obs.PhaseRender)
+		for _, vals := range data {
+			if len(vals) > 0 {
+				touched += float64(vals[0]) + float64(vals[len(vals)-1])
+			}
+		}
+		renderSpan.End()
 		missing += len(rep.Missing)
 	}
 	elapsed := time.Since(wall)
+	_ = touched
 
 	st := rt.Snapshot()
 	hits, misses := rt.CacheStats()
@@ -320,7 +365,47 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	is := inj.Stats()
 	fmt.Printf("injected faults    %d transient, %d permanent, %d corrupted (%d caught) over %d reads\n",
 		is.Transient, is.Permanent, is.Corrupted, is.CorruptCaught, is.Reads)
+	if metricsEvery > 0 {
+		reportPhases(reg)
+	}
 	return nil
+}
+
+// reportMetrics prints one live line from the registry: frame count, cache
+// traffic, and the demand-wait tail so a stalling run is visible as it runs.
+func reportMetrics(reg *obs.Registry) {
+	s := reg.Snapshot()
+	dw := s.Histograms["ooc.phase.demand_wait_ns"]
+	fmt.Printf("metrics            frames=%d cache=%d/%d coalesced=%d degraded=%d demand_wait p50=%v p95=%v\n",
+		s.Counters["ooc.frames"],
+		s.Counters["cache.hits"], s.Counters["cache.misses"],
+		s.Counters["cache.coalesced"], s.Counters["ooc.degraded_frames"],
+		time.Duration(dw.P50), time.Duration(dw.P95))
+}
+
+// reportPhases prints the frame-phase latency breakdown the registry
+// accumulated over the whole run: the paper's visibility → demand-wait →
+// render → prefetch-issue split, plus the whole-frame distribution.
+func reportPhases(reg *obs.Registry) {
+	s := reg.Snapshot()
+	fmt.Println("frame phases       count        p50        p95        p99")
+	for _, name := range []string{
+		"ooc.phase.visibility_ns",
+		"ooc.phase.demand_wait_ns",
+		"ooc.phase.render_ns",
+		"ooc.phase.prefetch_issue_ns",
+		"ooc.frame_ns",
+	} {
+		h, ok := s.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		label := strings.TrimSuffix(name, "_ns")
+		label = strings.TrimPrefix(label, "ooc.phase.")
+		label = strings.TrimPrefix(label, "ooc.")
+		fmt.Printf("  %-16s %6d %10v %10v %10v\n", label, h.Count,
+			time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99))
+	}
 }
 
 func maxI64(a, b int64) int64 {

@@ -6,7 +6,6 @@ import (
 	"net"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/ooc"
 	"repro/internal/radius"
 	"repro/internal/store"
+	"repro/internal/testutil"
 	"repro/internal/vec"
 	"repro/internal/visibility"
 	"repro/internal/volume"
@@ -266,7 +266,7 @@ func TestRemoteValuesMatchLocal(t *testing.T) {
 // across both sessions — the shared cache's singleflight spans the network.
 // Teardown must leak no goroutines (checked under -race by the race target).
 func TestEndToEndTwoSessionsSharedCache(t *testing.T) {
-	before := runtime.NumGoroutine()
+	testutil.VerifyNoLeaks(t)
 	f := startService(t, svcOpts{count: true, prefetch: true})
 
 	const sessions = 2
@@ -345,14 +345,7 @@ func TestEndToEndTwoSessionsSharedCache(t *testing.T) {
 	if got := f.srv.Snapshot().ActiveSessions; got != 0 {
 		t.Errorf("ActiveSessions = %d after Close", got)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	// testutil.VerifyNoLeaks asserts every session/worker goroutine is gone.
 }
 
 // TestRemoteTransientFaultsDegradeFrames: with the server's storage failing
@@ -636,6 +629,7 @@ func TestDialFailsWhenServerGone(t *testing.T) {
 // several clients fire overlapping batch reads and view updates at a small
 // shared cache while the server is torn down under them.
 func TestConcurrentSessionsRace(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := startService(t, svcOpts{
 		prefetch:   true,
 		cacheBytes: 8 * 2048, // churn: 8 blocks out of 64
@@ -673,6 +667,7 @@ func TestConcurrentSessionsRace(t *testing.T) {
 
 // TestServeTCP exercises the default TCP transport end to end on loopback.
 func TestServeTCP(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	f := startService(t, svcOpts{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/faultio"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -33,6 +34,10 @@ type ClientConfig struct {
 	// backoff, a failed dial is retried before a request gives up. Nil
 	// gets 4 attempts from 10ms doubling to 500ms.
 	Retry *faultio.Retrier
+	// Metrics, when non-nil, exposes the client's counters and request
+	// latency histogram on the given registry (names under "client.",
+	// documented in DESIGN.md §9). Nil disables the export.
+	Metrics *obs.Registry
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -54,17 +59,17 @@ func (c ClientConfig) withDefaults() ClientConfig {
 
 // ClientStats counts client activity, snapshotted under one lock.
 type ClientStats struct {
-	Dials          int64 // successful connects (incl. reconnects)
-	DialRetries    int64 // extra dial attempts beyond each first
-	Requests       int64 // read requests sent
+	Dials           int64 // successful connects (incl. reconnects)
+	DialRetries     int64 // extra dial attempts beyond each first
+	Requests        int64 // read requests sent
 	BlocksRequested int64
-	BlocksServed   int64 // blocks answered with payloads
-	RemoteFaults   int64 // blocks answered with fault statuses
-	ShedRequests   int64 // requests refused by server admission control
-	ChecksumErrors int64 // payloads rejected by wire CRC verification
+	BlocksServed    int64 // blocks answered with payloads
+	RemoteFaults    int64 // blocks answered with fault statuses
+	ShedRequests    int64 // requests refused by server admission control
+	ChecksumErrors  int64 // payloads rejected by wire CRC verification
 	TransportErrors int64 // torn connections (request failed mid-flight)
-	BytesReceived  int64 // payload bytes received
-	ViewUpdates    int64 // view messages sent
+	BytesReceived   int64 // payload bytes received
+	ViewUpdates     int64 // view messages sent
 }
 
 // RemoteReader reads blocks from a blocksvc server. It implements
@@ -78,6 +83,7 @@ type ClientStats struct {
 // time.
 type RemoteReader struct {
 	cfg  ClientConfig
+	m    *clientMetrics
 	dial func(ctx context.Context) (net.Conn, error)
 
 	header store.Header
@@ -114,6 +120,7 @@ func Dial(cfg ClientConfig) (*RemoteReader, error) {
 		idle:  make(chan *rconn, cfg.Conns),
 		conns: make(map[*rconn]struct{}),
 	}
+	r.m = newClientMetrics(r, cfg.Metrics)
 	r.dial = cfg.Dial
 	if r.dial == nil {
 		addr := cfg.Addr
@@ -206,20 +213,12 @@ func (r *RemoteReader) handshake(raw net.Conn) (*rconn, error) {
 		return nil, fmt.Errorf("blocksvc: server refused: %s: %w",
 			payload, faultio.ErrPermanent)
 	}
-	d := dec{b: payload}
-	version := d.u16()
-	session := d.u64()
-	hdr := store.Header{
-		Res:      grid.Dims{X: int(d.u32()), Y: int(d.u32()), Z: int(d.u32())},
-		Block:    grid.Dims{X: int(d.u32()), Y: int(d.u32()), Z: int(d.u32())},
-		Variable: int32(d.u32()),
-		Blocks:   int32(d.u32()),
-		Version:  int32(d.u32()),
-	}
-	if typ != msgWelcome || !d.ok() || version != ProtoVersion {
+	welcome, ok := decodeWelcome(payload)
+	if typ != msgWelcome || !ok || welcome.Version != ProtoVersion {
 		return nil, fmt.Errorf("blocksvc: bad welcome: %w", faultio.ErrPermanent)
 	}
-	rc.session = session
+	hdr := welcome.Header
+	rc.session = welcome.Session
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.g == nil {
@@ -362,6 +361,10 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		return fail(err)
 	}
 	r.count(func(s *ClientStats) { s.Requests++; s.BlocksRequested += int64(len(ids)) })
+	// End-to-end request latency: send through last done frame, every
+	// outcome (served, shed, torn) included.
+	reqStart := time.Now()
+	defer func() { r.m.requestNs.Observe(time.Since(reqStart).Nanoseconds()) }()
 
 	rc.nextReq++
 	req := rc.nextReq
@@ -533,4 +536,3 @@ func deadlineMillis(ctx context.Context) uint32 {
 	}
 	return uint32(ms)
 }
-

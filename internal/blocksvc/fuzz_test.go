@@ -1,0 +1,168 @@
+package blocksvc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// frameBytes encodes one complete wire frame for use as a fuzz seed.
+func frameBytes(t testing.TB, typ byte, payload []byte) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := writeFrame(&b, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// seedFrames builds one valid frame of every client→server and handshake
+// message, so the fuzzer starts from the interesting corners of the format
+// instead of rediscovering the header layout.
+func seedFrames(t testing.TB) [][]byte {
+	var hello enc
+	hello.u32(protoMagic)
+	hello.u16(ProtoVersion)
+
+	var welcome enc
+	welcome.u16(ProtoVersion)
+	welcome.u64(7)
+	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3} {
+		welcome.u32(v)
+	}
+
+	var read enc
+	read.u64(1)
+	read.u32(250)
+	read.u32(3)
+	for _, id := range []uint32{0, 5, 6} {
+		read.u32(id)
+	}
+
+	var view enc
+	view.u64(math.Float64bits(1.5))
+	view.u64(math.Float64bits(-2.5))
+	view.u64(math.Float64bits(8))
+
+	return [][]byte{
+		frameBytes(t, msgHello, hello.b),
+		frameBytes(t, msgWelcome, welcome.b),
+		frameBytes(t, msgRead, read.b),
+		frameBytes(t, msgView, view.b),
+		frameBytes(t, msgRead, nil),       // short payload
+		{0xff, 0xff, 0xff, 0xff, msgRead}, // oversized length prefix
+	}
+}
+
+// FuzzWireDecode drives the exact code the server and client run against
+// untrusted bytes: frame extraction (length-prefix handling) followed by the
+// typed payload decoders. Any panic, hang, or count-driven over-allocation
+// is a finding; decoded results must also satisfy the decoders' contracts.
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range seedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > maxFrameBytes {
+			t.Fatalf("readFrame returned %d bytes, over the frame limit", len(payload))
+		}
+		const maxBlocks = 65536
+		switch typ {
+		case msgHello:
+			decodeHello(payload)
+		case msgWelcome:
+			decodeWelcome(payload)
+		case msgRead:
+			if msg, ok := decodeRead(payload, maxBlocks); ok {
+				if len(msg.IDs) > maxBlocks {
+					t.Fatalf("decodeRead accepted %d ids, cap %d", len(msg.IDs), maxBlocks)
+				}
+				// req(8) + deadline(4) + count(4) + 4 bytes per id — exact fit.
+				if 16+4*len(msg.IDs) != len(payload) {
+					t.Fatalf("decodeRead accepted %d ids from %d payload bytes",
+						len(msg.IDs), len(payload))
+				}
+			}
+		case msgView:
+			decodeView(payload)
+		}
+	})
+}
+
+// TestReadFrameTruncatedAllocation pins the over-allocation fix: a header
+// declaring the maximum frame length with almost no payload behind it must
+// not commit the declared 64 MiB — memory committed tracks bytes received.
+func TestReadFrameTruncatedAllocation(t *testing.T) {
+	data := make([]byte, frameHeaderSize+16)
+	binary.LittleEndian.PutUint32(data, maxFrameBytes)
+	data[4] = msgRead
+	const rounds = 8
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, _, err := readFrame(bytes.NewReader(data)); err == nil {
+			t.Fatal("truncated frame decoded successfully")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Each attempt may allocate one readChunk; the old code allocated the
+	// full 64 MiB per attempt (8 rounds = 512 MiB).
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > rounds*(readChunk+1<<16) {
+		t.Errorf("truncated reads allocated %d bytes total, want at most ~%d",
+			delta, rounds*readChunk)
+	}
+}
+
+// TestReadFrameLargePayloadRoundTrip: the chunked path must still hand back
+// exactly the bytes written, including across chunk boundaries.
+func TestReadFrameLargePayloadRoundTrip(t *testing.T) {
+	payload := make([]byte, readChunk*3+12345)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var b bytes.Buffer
+	if err := writeFrame(&b, msgBlocks, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&b)
+	if err != nil || typ != msgBlocks {
+		t.Fatalf("readFrame: typ=%d err=%v", typ, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("chunked payload does not round-trip")
+	}
+}
+
+// TestReadFrameMidPayloadEOF: EOF after a whole first chunk is mid-frame
+// and must surface as ErrUnexpectedEOF, as the single-read path does.
+func TestReadFrameMidPayloadEOF(t *testing.T) {
+	full := frameBytes(t, msgBlocks, make([]byte, readChunk*2))
+	_, _, err := readFrame(bytes.NewReader(full[:frameHeaderSize+readChunk]))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeReadHostileCount: a declared id count far beyond the payload
+// must be rejected before any allocation happens.
+func TestDecodeReadHostileCount(t *testing.T) {
+	var e enc
+	e.u64(1)
+	e.u32(0)
+	e.u32(0xFFFFFFFF) // declares 4G ids, provides none
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := decodeRead(e.b, 1<<30); ok {
+			t.Fatal("hostile count decoded")
+		}
+	}); n > 0 {
+		t.Errorf("rejecting a hostile count allocates %.1f times", n)
+	}
+}

@@ -1,0 +1,97 @@
+package blocksvc
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics is the server's observability surface (names under "svc.",
+// documented in DESIGN.md §9). The ServerStats counters are exported as
+// pull-style func metrics — they already exist under statsMu, so the hot
+// path pays nothing new — while admission-wait latencies are push-style
+// histograms observed around the semaphore. A nil registry leaves every
+// handle nil; obs handles are nil-safe, so callers never branch.
+type serverMetrics struct {
+	reg       *obs.Registry
+	queueWait *obs.Histogram // admission wait of requests that were admitted
+	shedWait  *obs.Histogram // admission wait of requests that were shed
+}
+
+func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+	if reg == nil {
+		return m
+	}
+	m.queueWait = reg.Histogram("svc.queue_wait_ns", obs.DurationBuckets())
+	m.shedWait = reg.Histogram("svc.shed_wait_ns", obs.DurationBuckets())
+	counter := func(name string, get func(*ServerStats) int64) {
+		reg.CounterFunc(name, func() int64 { st := s.Snapshot(); return get(&st) })
+	}
+	counter("svc.sessions", func(st *ServerStats) int64 { return st.Sessions })
+	counter("svc.requests", func(st *ServerStats) int64 { return st.Requests })
+	counter("svc.shed_requests", func(st *ServerStats) int64 { return st.ShedRequests })
+	counter("svc.blocks", func(st *ServerStats) int64 { return st.Blocks })
+	counter("svc.blocks_ok", func(st *ServerStats) int64 { return st.BlocksOK })
+	counter("svc.blocks_failed", func(st *ServerStats) int64 { return st.BlocksFailed })
+	counter("svc.bytes_sent", func(st *ServerStats) int64 { return st.BytesSent })
+	counter("svc.view_updates", func(st *ServerStats) int64 { return st.ViewUpdates })
+	counter("svc.prefetch_issued", func(st *ServerStats) int64 { return st.PrefetchIssued })
+	counter("svc.prefetch_executed", func(st *ServerStats) int64 { return st.PrefetchExecuted })
+	counter("svc.prefetch_failed", func(st *ServerStats) int64 { return st.PrefetchFailed })
+	counter("svc.prefetch_dropped", func(st *ServerStats) int64 { return st.PrefetchDropped })
+	reg.GaugeFunc("svc.active_sessions", func() int64 { return s.Snapshot().ActiveSessions })
+	reg.GaugeFunc("svc.inflight_bytes", s.sem.InUse)
+	return m
+}
+
+// registerSession exposes one session's in-flight served bytes as a
+// dynamically named gauge; unregisterSession retires it at teardown so the
+// snapshot only lists live sessions.
+func (m *serverMetrics) registerSession(ss *session) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.GaugeFunc(sessionGaugeName(ss.id), ss.inflightBytes.Load)
+}
+
+func (m *serverMetrics) unregisterSession(ss *session) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.Unregister(sessionGaugeName(ss.id))
+}
+
+func sessionGaugeName(id uint64) string {
+	return fmt.Sprintf("svc.session.%d.inflight_bytes", id)
+}
+
+// clientMetrics is the RemoteReader's observability surface (names under
+// "client.", documented in DESIGN.md §9): ClientStats as pull-style func
+// metrics plus an end-to-end request-latency histogram.
+type clientMetrics struct {
+	requestNs *obs.Histogram
+}
+
+func newClientMetrics(r *RemoteReader, reg *obs.Registry) *clientMetrics {
+	m := &clientMetrics{}
+	if reg == nil {
+		return m
+	}
+	m.requestNs = reg.Histogram("client.request_ns", obs.DurationBuckets())
+	counter := func(name string, get func(*ClientStats) int64) {
+		reg.CounterFunc(name, func() int64 { st := r.Snapshot(); return get(&st) })
+	}
+	counter("client.dials", func(st *ClientStats) int64 { return st.Dials })
+	counter("client.dial_retries", func(st *ClientStats) int64 { return st.DialRetries })
+	counter("client.requests", func(st *ClientStats) int64 { return st.Requests })
+	counter("client.blocks_requested", func(st *ClientStats) int64 { return st.BlocksRequested })
+	counter("client.blocks_served", func(st *ClientStats) int64 { return st.BlocksServed })
+	counter("client.remote_faults", func(st *ClientStats) int64 { return st.RemoteFaults })
+	counter("client.shed_requests", func(st *ClientStats) int64 { return st.ShedRequests })
+	counter("client.checksum_errors", func(st *ClientStats) int64 { return st.ChecksumErrors })
+	counter("client.transport_errors", func(st *ClientStats) int64 { return st.TransportErrors })
+	counter("client.bytes_received", func(st *ClientStats) int64 { return st.BytesReceived })
+	counter("client.view_updates", func(st *ClientStats) int64 { return st.ViewUpdates })
+	return m
+}

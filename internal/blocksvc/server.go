@@ -8,12 +8,13 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/entropy"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/store"
-	"repro/internal/vec"
 	"repro/internal/visibility"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	// HandshakeTimeout bounds how long a fresh connection may take to send
 	// its hello (default 10s).
 	HandshakeTimeout time.Duration
+
+	// Metrics, when non-nil, exposes the server's counters, admission-wait
+	// histograms, and per-session in-flight gauges on the given registry
+	// (names under "svc.", documented in DESIGN.md §9). Nil disables the
+	// export; the ServerStats snapshot is unaffected either way.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -92,15 +99,15 @@ func (c Config) withDefaults() Config {
 // ServerStats counts server activity. Taken as one consistent snapshot
 // under a single lock by Server.Snapshot.
 type ServerStats struct {
-	Sessions       int64 // connections that completed the handshake
-	ActiveSessions int64 // currently connected
-	Requests       int64 // read requests admitted and served
-	ShedRequests   int64 // read requests refused by admission control
-	Blocks         int64 // blocks answered (any status)
-	BlocksOK       int64 // blocks answered with payloads
-	BlocksFailed   int64 // blocks answered with fault statuses
-	BytesSent      int64 // payload bytes shipped
-	ViewUpdates    int64 // view messages received
+	Sessions         int64 // connections that completed the handshake
+	ActiveSessions   int64 // currently connected
+	Requests         int64 // read requests admitted and served
+	ShedRequests     int64 // read requests refused by admission control
+	Blocks           int64 // blocks answered (any status)
+	BlocksOK         int64 // blocks answered with payloads
+	BlocksFailed     int64 // blocks answered with fault statuses
+	BytesSent        int64 // payload bytes shipped
+	ViewUpdates      int64 // view messages received
 	PrefetchIssued   int64
 	PrefetchExecuted int64
 	PrefetchFailed   int64
@@ -112,6 +119,7 @@ type ServerStats struct {
 type Server struct {
 	cfg    Config
 	sem    *byteSem
+	m      *serverMetrics
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -139,14 +147,16 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("blocksvc: prefetch needs an importance table")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		sem:       newByteSem(cfg.MaxInflightBytes),
 		ctx:       ctx,
 		cancel:    cancel,
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
-	}, nil
+	}
+	s.m = newServerMetrics(s, cfg.Metrics)
+	return s, nil
 }
 
 // Serve accepts sessions on l until the server is closed (returns nil) or
@@ -204,6 +214,7 @@ func (s *Server) StartSession(conn net.Conn) bool {
 	}
 	s.sessions[ss] = struct{}{}
 	s.mu.Unlock()
+	s.m.registerSession(ss)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -274,6 +285,10 @@ type session struct {
 	inflightMu sync.Mutex
 	inflight   int
 
+	// inflightBytes tracks the admitted bytes this session is currently
+	// being served; exported as a per-session gauge while the session lives.
+	inflightBytes atomic.Int64
+
 	prefetchCh chan grid.BlockID // nil when prefetch is disabled
 	queuedMu   sync.Mutex
 	queued     map[grid.BlockID]struct{}
@@ -292,6 +307,7 @@ func (ss *session) run() {
 		ss.s.mu.Lock()
 		delete(ss.s.sessions, ss)
 		ss.s.mu.Unlock()
+		ss.s.m.unregisterSession(ss)
 		ss.s.count(func(st *ServerStats) { st.ActiveSessions-- })
 	}()
 	// The deferred ActiveSessions-- must balance even when the handshake
@@ -335,15 +351,14 @@ func (ss *session) handshake() error {
 		return err
 	}
 	ss.conn.SetReadDeadline(time.Time{})
-	d := dec{b: payload}
-	magic, version := d.u32(), d.u16()
-	if typ != msgHello || !d.ok() || magic != protoMagic {
+	hello, ok := decodeHello(payload)
+	if typ != msgHello || !ok || hello.Magic != protoMagic {
 		ss.fail("bad hello")
 		return fmt.Errorf("blocksvc: bad hello")
 	}
-	if version != ProtoVersion {
+	if hello.Version != ProtoVersion {
 		ss.fail(fmt.Sprintf("protocol version %d unsupported (server speaks %d)",
-			version, ProtoVersion))
+			hello.Version, ProtoVersion))
 		return fmt.Errorf("blocksvc: version mismatch")
 	}
 	h := ss.s.cfg.Header
@@ -382,30 +397,21 @@ func (ss *session) fail(msg string) {
 // (requests pipeline; responses interleave at frame granularity, keyed by
 // request id). Returns false on a protocol error.
 func (ss *session) handleRead(payload []byte) bool {
-	d := dec{b: payload}
-	req := d.u64()
-	deadlineMillis := d.u32()
-	n := int(d.u32())
-	if d.bad || n > ss.s.cfg.MaxBlocksPerRequest {
+	msg, ok := decodeRead(payload, ss.s.cfg.MaxBlocksPerRequest)
+	if !ok {
 		ss.fail("bad read request")
 		return false
 	}
-	ids := make([]grid.BlockID, n)
 	var bytes int64
-	for i := range ids {
-		ids[i] = grid.BlockID(d.u32())
-		bytes += ss.s.blockBytes(ids[i])
-	}
-	if !d.ok() {
-		ss.fail("bad read request")
-		return false
+	for _, id := range msg.IDs {
+		bytes += ss.s.blockBytes(id)
 	}
 
 	// Per-session cap: shed rather than queue a greedy client's backlog.
 	ss.inflightMu.Lock()
 	if ss.inflight >= ss.s.cfg.MaxSessionRequests {
 		ss.inflightMu.Unlock()
-		ss.shed(req)
+		ss.shed(msg.Req)
 		return true
 	}
 	ss.inflight++
@@ -419,7 +425,7 @@ func (ss *session) handleRead(payload []byte) bool {
 			ss.inflight--
 			ss.inflightMu.Unlock()
 		}()
-		ss.serveRead(req, ids, bytes, deadlineMillis)
+		ss.serveRead(msg.Req, msg.IDs, bytes, msg.DeadlineMillis)
 	}()
 	return true
 }
@@ -451,17 +457,25 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 		ss.shed(req)
 		return
 	}
+	admitStart := time.Now()
 	admitCtx, admitCancel := context.WithTimeout(reqCtx, ss.s.cfg.MaxQueueWait)
 	err := ss.s.sem.Acquire(admitCtx, bytes)
 	admitCancel()
+	wait := time.Since(admitStart).Nanoseconds()
 	if err != nil {
 		if ss.ctx.Err() != nil {
 			return // session is gone; nobody is listening
 		}
+		ss.s.m.shedWait.Observe(wait)
 		ss.shed(req)
 		return
 	}
-	defer ss.s.sem.Release(bytes)
+	ss.s.m.queueWait.Observe(wait)
+	ss.inflightBytes.Add(bytes)
+	defer func() {
+		ss.inflightBytes.Add(-bytes)
+		ss.s.sem.Release(bytes)
+	}()
 	ss.s.count(func(st *ServerStats) { st.Requests++ })
 
 	// Serve and stream in runs of roughly ResponseRunBytes: results reach
@@ -530,13 +544,8 @@ func (ss *session) sendRun(e *enc, req uint64, firstIdx int, ids []grid.BlockID,
 // fresh high-entropy predictions are queued for prefetch into the shared
 // cache. Returns false on a protocol error.
 func (ss *session) handleView(payload []byte) bool {
-	d := dec{b: payload}
-	pos := vec.V3{
-		X: math.Float64frombits(d.u64()),
-		Y: math.Float64frombits(d.u64()),
-		Z: math.Float64frombits(d.u64()),
-	}
-	if !d.ok() {
+	pos, ok := decodeView(payload)
+	if !ok {
 		ss.fail("bad view update")
 		return false
 	}
@@ -603,9 +612,10 @@ func (ss *session) prefetchLoop() {
 // byteSem is a context-aware weighted semaphore with FIFO admission: the
 // server's global in-flight byte budget.
 type byteSem struct {
-	mu      sync.Mutex
-	avail   int64
-	waiters []*semWaiter
+	capacity int64
+	mu       sync.Mutex
+	avail    int64
+	waiters  []*semWaiter
 }
 
 type semWaiter struct {
@@ -613,7 +623,17 @@ type semWaiter struct {
 	ready chan struct{}
 }
 
-func newByteSem(capacity int64) *byteSem { return &byteSem{avail: capacity} }
+func newByteSem(capacity int64) *byteSem {
+	return &byteSem{capacity: capacity, avail: capacity}
+}
+
+// InUse reports the units currently acquired — the server's in-flight byte
+// gauge.
+func (s *byteSem) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity - s.avail
+}
 
 // Acquire takes n units, waiting FIFO behind earlier requests, until ctx
 // ends. The caller must Release exactly n on success.
@@ -663,4 +683,3 @@ func (s *byteSem) Release(n int64) {
 	}
 	s.mu.Unlock()
 }
-

@@ -171,22 +171,61 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("blocksvc: frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return 0, nil, err
 	}
 	return hdr[4], payload, nil
 }
 
+// readChunk is the largest buffer readPayload commits to before any payload
+// bytes have actually arrived.
+const readChunk = 1 << 20
+
+// readPayload reads exactly n declared bytes. Payloads up to readChunk get
+// one exact allocation — the hot path, since real frames are bounded by
+// ResponseRunBytes-sized runs. Larger declared lengths are read in chunks
+// with the buffer growing only as data arrives, so a corrupt or hostile
+// length prefix costs at most one chunk of memory, never the full declared
+// maxFrameBytes.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	payload := make([]byte, 0, readChunk)
+	for len(payload) < n {
+		take := min(n-len(payload), readChunk)
+		if cap(payload)-len(payload) < take {
+			grown := make([]byte, len(payload), min(n, 2*cap(payload)+take))
+			copy(grown, payload)
+			payload = grown
+		}
+		m, err := io.ReadFull(r, payload[len(payload):len(payload)+take])
+		payload = payload[:len(payload)+m]
+		if err != nil {
+			if err == io.EOF {
+				// EOF between chunks is still mid-frame.
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
 // enc appends fixed-width little-endian fields to a reusable buffer.
 type enc struct{ b []byte }
 
-func (e *enc) reset()        { e.b = e.b[:0] }
-func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
-func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
-func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
-func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *enc) raw(p []byte)  { e.b = append(e.b, p...) }
+func (e *enc) reset()       { e.b = e.b[:0] }
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) raw(p []byte) { e.b = append(e.b, p...) }
 
 // dec consumes fixed-width little-endian fields; a short buffer trips the
 // bad flag instead of panicking, checked once at the end with ok().

@@ -35,6 +35,7 @@ import (
 	"repro/internal/entropy"
 	"repro/internal/faultio"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vec"
 	"repro/internal/visibility"
@@ -63,6 +64,13 @@ type Options struct {
 	// ReadDeadline bounds each demand-read attempt when Retry is nil
 	// (0 = no per-read deadline).
 	ReadDeadline time.Duration
+	// Metrics, when non-nil, is the registry the runtime's counters and
+	// frame-phase histograms are registered on (names under "ooc.",
+	// documented in DESIGN.md §9). Nil gets a private registry: the
+	// instrumentation always runs — its cost is part of every benchmarked
+	// frame — it is just not externally visible. Sharing one registry
+	// across runtimes aggregates their counters.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -166,11 +174,13 @@ type Runtime struct {
 	queuedMu sync.Mutex
 	queued   map[grid.BlockID]struct{}
 
-	// stats is the runtime's counter set. Hot paths accumulate into
-	// frame-local deltas and commit them here in one merge, so Snapshot
-	// (same lock) sees whole frames, never a half-counted one.
+	// m holds the registry-backed counters the runtime's Stats live in.
+	// Hot paths accumulate into frame-local deltas and commit them under
+	// statsMu in one merge, so Snapshot (same lock) sees whole frames,
+	// never a half-counted one. A debug endpoint reading the same counters
+	// through the registry skips the lock — near-consistent is fine there.
 	statsMu sync.Mutex
-	stats   Stats
+	m       *runtimeMetrics
 }
 
 // New starts the runtime's demand and prefetch workers.
@@ -187,6 +197,7 @@ func New(cache *store.MemCache, vis *visibility.Table, imp *entropy.Table, opts 
 		demandCh:   make(chan *demandJob, opts.DemandWorkers),
 		prefetchCh: make(chan grid.BlockID, opts.QueueDepth),
 		queued:     make(map[grid.BlockID]struct{}),
+		m:          newRuntimeMetrics(opts.Metrics),
 	}
 	if n := opts.Retry.MaxAttempts - 1; n > 0 {
 		r.retryAfter = &faultio.Retrier{
@@ -367,6 +378,11 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	local.Frames = 1
 	out := make([][]float32, len(visible))
 
+	// Demand-wait spans the whole blocking portion of the frame: the warm
+	// scan, batch dispatch, and the wait for the last miss to land.
+	frameStart := time.Now()
+	demandSpan := r.m.phases.Begin(obs.PhaseDemandWait)
+
 	// Inline fast path: serve every warm block without touching a worker.
 	var missIdx []int
 	for i, id := range visible {
@@ -408,6 +424,7 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 		fs.wg.Wait()
 		local.add(&fs.stats) // all jobs done: no further writers
 	}
+	demandSpan.End()
 
 	if err := ctx.Err(); err != nil {
 		r.addStats(&local)
@@ -423,6 +440,7 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	// lock fences against Close closing the channel mid-enqueue; the
 	// queued-set keeps a block predicted by consecutive frames from sitting
 	// in the queue more than once.
+	issueSpan := r.m.phases.Begin(obs.PhasePrefetchIssue)
 	r.mu.RLock()
 	if !r.closed.Load() {
 		for _, id := range r.vis.Predict(pos) {
@@ -449,6 +467,8 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 		}
 	}
 	r.mu.RUnlock()
+	issueSpan.End()
+	r.m.frameNs.Observe(time.Since(frameStart).Nanoseconds())
 	r.addStats(&local)
 	return out, rep, nil
 }
@@ -456,18 +476,26 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 // addStats commits a local counter delta in one critical section.
 func (r *Runtime) addStats(d *Stats) {
 	r.statsMu.Lock()
-	r.stats.add(d)
+	r.m.commit(d)
 	r.statsMu.Unlock()
 }
 
 // Snapshot returns a consistent copy of the runtime counters, taken under
 // the same lock their updates commit through — a caller printing stats
-// while frames run never observes a frame's counters half-applied.
+// while frames run never observes a frame's counters half-applied. With a
+// shared Options.Metrics registry the counters aggregate across runtimes,
+// and so does this snapshot.
 func (r *Runtime) Snapshot() Stats {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
-	return r.stats
+	return r.m.snapshot()
 }
+
+// Phases returns the runtime's frame-phase timer so the caller can time the
+// phases it owns: PhaseVisibility around its visible-set query and
+// PhaseRender around its consumption of the returned data. PhaseDemandWait
+// and PhasePrefetchIssue are recorded by Frame itself.
+func (r *Runtime) Phases() *obs.PhaseTimer { return r.m.phases }
 
 // CacheStats returns the underlying cache's hit/miss counts.
 func (r *Runtime) CacheStats() (hits, misses int64) { return r.cache.Stats() }

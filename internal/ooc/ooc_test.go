@@ -3,7 +3,6 @@ package ooc
 import (
 	"context"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +15,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/radius"
 	"repro/internal/store"
+	"repro/internal/testutil"
 	"repro/internal/vec"
 	"repro/internal/visibility"
 	"repro/internal/volume"
@@ -442,7 +442,7 @@ func TestCorruptionDetectedAndRetried(t *testing.T) {
 // send/close coordination; afterwards the prefetch workers must have
 // drained (no goroutine leak) and Frame must fail cleanly.
 func TestFrameConcurrentWithClose(t *testing.T) {
-	before := runtime.NumGoroutine()
+	testutil.VerifyNoLeaks(t)
 	f := newFaultFixture(t, 8, &faultio.InjectorConfig{Seed: 9, FailRate: 0.2})
 	r, err := New(f.cache, f.vis, f.imp, Options{
 		Sigma: 0, PrefetchWorkers: 4, Retry: fastRetry(4),
@@ -475,15 +475,7 @@ func TestFrameConcurrentWithClose(t *testing.T) {
 	if _, _, err := r.Frame(ctx, cam.Pos, visible); err == nil {
 		t.Error("Frame after Close succeeded")
 	}
-	// The prefetch workers must be gone; give the scheduler a moment.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	// testutil.VerifyNoLeaks asserts the demand and prefetch workers drain.
 }
 
 // TestDemandPoolStressTinyCache hammers the persistent demand pool with a

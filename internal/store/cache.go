@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // call is one in-flight backing-store read that concurrent requesters for
@@ -43,17 +44,21 @@ type MemCache struct {
 	used     int64
 	recycle  bool
 
-	hits, misses int64
-	coalesced    int64 // requests served by waiting on another's read
-	recycled     int64 // evicted slices handed back for reuse
+	hits, misses  int64
+	coalesced     int64 // requests served by waiting on another's read
+	evictions     int64 // blocks pushed out by the replacement policy
+	recycled      int64 // evicted slices handed back for reuse
+	recycledBytes int64 // bytes of those slices
 }
 
 // CacheCounters is a snapshot of MemCache activity beyond plain hit/miss.
 type CacheCounters struct {
-	Hits      int64 // requests served from cached memory
-	Misses    int64 // requests that initiated a backing-store read
-	Coalesced int64 // requests served by sharing another request's read
-	Recycled  int64 // evicted block buffers handed back for reuse
+	Hits          int64 // requests served from cached memory
+	Misses        int64 // requests that initiated a backing-store read
+	Coalesced     int64 // requests served by sharing another request's read
+	Evictions     int64 // blocks pushed out by the replacement policy
+	Recycled      int64 // evicted block buffers handed back for reuse
+	RecycledBytes int64 // bytes of evicted buffers handed back for reuse
 }
 
 // NewMemCache wraps the block reader with a cache of the given byte
@@ -366,8 +371,10 @@ func (c *MemCache) evict(id grid.BlockID) {
 	delete(c.data, id)
 	c.used -= int64(len(vals)) * 4
 	c.policy.Remove(id)
+	c.evictions++
 	if c.recycle {
 		c.recycled++
+		c.recycledBytes += int64(len(vals)) * 4
 		c.recycler.RecycleBlockBuf(vals)
 	}
 }
@@ -385,11 +392,28 @@ func (c *MemCache) Counters() CacheCounters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheCounters{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Recycled:  c.recycled,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Coalesced:     c.coalesced,
+		Evictions:     c.evictions,
+		Recycled:      c.recycled,
+		RecycledBytes: c.recycledBytes,
 	}
+}
+
+// Instrument registers the cache's counters on reg under the "cache."
+// prefix as pull-style metrics: the hot path keeps its existing
+// mutex-guarded fields (zero added cost per request) and the registry reads
+// them only when snapshotted. Safe to call with a nil registry.
+func (c *MemCache) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("cache.hits", func() int64 { return c.Counters().Hits })
+	reg.CounterFunc("cache.misses", func() int64 { return c.Counters().Misses })
+	reg.CounterFunc("cache.coalesced", func() int64 { return c.Counters().Coalesced })
+	reg.CounterFunc("cache.evictions", func() int64 { return c.Counters().Evictions })
+	reg.CounterFunc("cache.recycled", func() int64 { return c.Counters().Recycled })
+	reg.CounterFunc("cache.recycled_bytes", func() int64 { return c.Counters().RecycledBytes })
+	reg.GaugeFunc("cache.used_bytes", c.Used)
+	reg.GaugeFunc("cache.blocks", func() int64 { return int64(c.Len()) })
 }
 
 // Used returns the bytes currently cached.

@@ -1,0 +1,52 @@
+// Package testutil holds shared test helpers. It must only be imported
+// from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSlack tolerates runtime-internal goroutines (GC workers, timer
+// goroutines) appearing between the two counts.
+const leakSlack = 2
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup that
+// fails the test if the count has not returned to the baseline (plus a
+// small slack for runtime-internal goroutines) shortly after the test — the
+// repo-wide guard for Close paths that must drain their worker pools.
+//
+// Call it first in the test, before any fixture whose t.Cleanup tears
+// infrastructure down: cleanups run LIFO, so the leak check then runs after
+// every teardown has finished. Not usable from t.Parallel tests — sibling
+// tests' goroutines would count against the baseline.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if n, ok := waitForBaseline(before, 5*time.Second); !ok {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutines leaked: %d before, %d after\n\n%s", before, n, buf)
+		}
+	})
+}
+
+// waitForBaseline polls until the goroutine count drops to before+leakSlack
+// or the timeout passes, returning the last count and whether it settled.
+// Close-style APIs may return before the scheduler reaps the workers they
+// stopped, so an immediate count would flag phantom leaks.
+func waitForBaseline(before int, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+leakSlack {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,50 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestVerifyNoLeaksPasses: goroutines that exit before the cleanup must not
+// trip the check, even if they linger briefly after the test body.
+func TestVerifyNoLeaksPasses(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+}
+
+// TestWaitForBaselineCatchesLeaks pins the failure path: with goroutines
+// parked past the helper's slack, the wait must report not-settled.
+func TestWaitForBaselineCatchesLeaks(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	before := runtime.NumGoroutine()
+	for i := 0; i < leakSlack+2; i++ {
+		go func() { <-stop }()
+	}
+	for runtime.NumGoroutine() < before+leakSlack+2 {
+		time.Sleep(time.Millisecond)
+	}
+	if n, ok := waitForBaseline(before, 50*time.Millisecond); ok {
+		t.Fatalf("leak of %d goroutines reported as settled (count %d)", leakSlack+2, n)
+	}
+}
+
+// TestWaitForBaselineSettles: once the leakers exit, the same baseline must
+// settle within the timeout.
+func TestWaitForBaselineSettles(t *testing.T) {
+	before := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() { <-stop }()
+	}
+	close(stop)
+	if n, ok := waitForBaseline(before, 5*time.Second); !ok {
+		t.Fatalf("exited goroutines still counted: %d vs baseline %d", n, before)
+	}
+}
