@@ -1,10 +1,11 @@
 # Pre-PR checks. `make check` is the gate: vet, build, full tests, the race
 # detector over the concurrent real-I/O packages, the fuzz seed corpus, a
-# one-iteration bench smoke so benchmark code can't rot, and the frame-path
-# perf gate against the committed baseline.
+# chaos smoke over the failure-model paths, a one-iteration bench smoke so
+# benchmark code can't rot, and the frame-path perf gates against the
+# committed baseline.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/obs/... ./internal/testutil/... ./cmd/vizserver/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
 BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/...
@@ -12,9 +13,13 @@ BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/...
 # Packages with fuzz targets; fuzz-smoke replays their seed corpora.
 FUZZ_PKGS := ./internal/blocksvc/...
 
-.PHONY: check vet build test race fuzz-smoke bench bench-all bench-smoke bench-check
+# The lifecycle/failure-model suite: failover, drain, heartbeats, breaker,
+# and the two-replica network-chaos end-to-end run.
+CHAOS_TESTS := 'TestChaos|TestBreaker|TestFailover|TestDrain|TestHandshakeWriteDeadline|TestServerDetectsDeadPeer|TestClientDetectsDeadServer|TestKeepalive|TestChecksumFaultsDontFailover|TestCloseConcurrentWithReads'
 
-check: vet build test race fuzz-smoke bench-smoke bench-check
+.PHONY: check vet build test race chaos chaos-smoke fuzz-smoke bench bench-all bench-smoke bench-check
+
+check: vet build test race chaos-smoke fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +32,18 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# chaos runs the failure-model suite under the race detector, repeated to
+# shake out interleavings: replica kill/restart, graceful drain, dead-peer
+# detection, breaker transitions, and wire corruption via netchaos.
+chaos:
+	$(GO) test -race -count=5 -run=$(CHAOS_TESTS) ./internal/blocksvc/
+	$(GO) test -race -count=5 ./internal/netchaos/
+
+# chaos-smoke is the single-pass version for the check gate.
+chaos-smoke:
+	$(GO) test -race -count=1 -run=$(CHAOS_TESTS) ./internal/blocksvc/
+	$(GO) test -race -count=1 ./internal/netchaos/
 
 # bench records the tracked hot-path numbers to results/BENCH_ooc.json (and
 # echoes the raw output). Commit the JSON when the numbers move.
@@ -42,11 +59,14 @@ bench-all:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(BENCH_PKGS) >/dev/null
 
-# bench-check is the perf gate: rerun the frame hot path and fail if ns/op
-# regressed more than 25% past the committed baseline. Re-record with
-# `make bench` (and commit the JSON) when a deliberate change moves it.
+# bench-check is the perf gate: rerun the frame hot paths — local and remote
+# — and fail if ns/op regressed more than 25% past the committed baseline.
+# Re-record with `make bench` (and commit the JSON) when a deliberate change
+# moves them. The remote gate proves protocol-v3 liveness costs nothing on
+# the steady-state demand path.
 bench-check:
 	$(GO) test -bench='^BenchmarkFrame$$' -benchmem -run='^$$' ./internal/ooc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+	$(GO) test -bench='^BenchmarkRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 
 # fuzz-smoke replays each fuzz target's seed corpus as ordinary tests, so a
 # decoder change that panics on a known-interesting input fails the gate.

@@ -10,6 +10,7 @@
 //	vizserver -addr 127.0.0.1:9123 -dataset 3d_ball -scale 0.25 -blocks 2048
 //	          [-cache-frac 0.5] [-sigma-quantile 0.75] [-no-prefetch]
 //	          [-max-inflight-mb 256] [-max-session-reqs 8] [-queue-wait 100ms]
+//	          [-heartbeat 5s] [-drain-timeout 5s]
 //	          [-debug-addr 127.0.0.1:9124]
 //	          [-fail-rate 0 -perm-frac 0 -corrupt-rate 0 -io-latency 0]
 //
@@ -17,10 +18,13 @@
 // -dataset/-scale/-blocks so their geometry matches the served volume. The
 // fault-injection flags put a deterministic injector between the file and
 // the cache, so degraded-but-graceful behavior can be demonstrated across
-// the wire. SIGINT/SIGTERM shut the server down and print its counters.
+// the wire. SIGINT/SIGTERM drain the server — stop accepting, announce
+// GOAWAY, finish in-flight requests up to -drain-timeout — then print its
+// counters; clients with a second replica fail over seamlessly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -58,6 +62,9 @@ func main() {
 		maxMB   = flag.Int64("max-inflight-mb", 256, "admission: in-flight payload budget, MiB")
 		maxReqs = flag.Int("max-session-reqs", 8, "admission: concurrent requests per session")
 		maxWait = flag.Duration("queue-wait", 100*time.Millisecond, "admission: longest wait before a request is shed")
+
+		heartbeat = flag.Duration("heartbeat", 0, "liveness ping interval advertised to clients (0 = 5s default, negative disables)")
+		drainT    = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT: how long to let in-flight requests finish")
 
 		debugAddr = flag.String("debug-addr", "",
 			"optional HTTP debug listen address (JSON metrics at /debug/metrics, pprof at /debug/pprof/)")
@@ -127,6 +134,7 @@ func main() {
 		MaxInflightBytes:   *maxMB << 20,
 		MaxSessionRequests: *maxReqs,
 		MaxQueueWait:       *maxWait,
+		HeartbeatInterval:  *heartbeat,
 		Metrics:            reg,
 	}
 	if !*noPre {
@@ -173,7 +181,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("\nshutting down      (%v)\n", s)
+		fmt.Printf("\ndraining           (%v, in-flight work gets up to %v)\n", s, *drainT)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Printf("drain              cut short: %v\n", err)
+		}
+		cancel()
 	case err := <-done:
 		if err != nil {
 			fatal(err)
@@ -190,6 +203,8 @@ func main() {
 	fmt.Printf("blocks             %d answered (%d with data, %d faulted), %d MiB sent\n",
 		st.Blocks, st.BlocksOK, st.BlocksFailed, st.BytesSent>>20)
 	fmt.Printf("view updates       %d received\n", st.ViewUpdates)
+	fmt.Printf("liveness           %d heartbeats sent, %d dead peers dropped, %d goaways announced\n",
+		st.HeartbeatsSent, st.DeadPeers, st.GoawaysSent)
 	fmt.Printf("prefetch           %d issued, %d executed, %d failed, %d dropped\n",
 		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
 	cc := mc.Counters()

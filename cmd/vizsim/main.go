@@ -67,7 +67,7 @@ func main() {
 		savePath = flag.String("save-path", "", "write the camera path used to this file")
 
 		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
-		remote      = flag.String("remote", "", "realio: read blocks from a vizserver at this address instead of local disk")
+		remote      = flag.String("remote", "", "realio: read blocks from vizservers at these comma-separated addresses (replicas; the client fails over between them) instead of local disk")
 		metrics     = flag.Duration("metrics", 0, "realio: print a live metrics snapshot at this interval, plus a final frame-phase breakdown (0 = off)")
 		cacheFrac   = flag.Float64("cache-frac", 0.25, "realio: in-memory cache size as a fraction of the dataset")
 		failRate    = flag.Float64("fail-rate", 0, "realio: injected transient read-failure probability")
@@ -213,7 +213,13 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		err    error
 	)
 	if remote != "" {
-		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Addr: remote, Conns: 4, Metrics: reg})
+		var eps []blocksvc.Endpoint
+		for _, addr := range strings.Split(remote, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				eps = append(eps, blocksvc.Endpoint{Addr: addr})
+			}
+		}
+		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Endpoints: eps, Conns: 4, Metrics: reg})
 		if err != nil {
 			return err
 		}
@@ -224,8 +230,8 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 				"start vizsim with the server's -dataset/-scale/-blocks",
 				hdr.Res, hdr.Block, g.Res(), g.BlockSize())
 		}
-		fmt.Printf("remote store       %s (v%d, %d blocks, 4 pooled conns)\n",
-			remote, hdr.Version, g.NumBlocks())
+		fmt.Printf("remote store       %s (v%d, %d blocks, %d replicas, 4 pooled conns)\n",
+			remote, hdr.Version, g.NumBlocks(), len(eps))
 		reader = rr
 	} else {
 		dir, err := os.MkdirTemp("", "vizsim-realio")
@@ -356,6 +362,10 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 			rs.Requests, rs.BlocksRequested, rs.Dials, rs.BytesReceived>>20, rs.ViewUpdates)
 		fmt.Printf("remote faults      %d server-side, %d shed, %d wire checksum rejects, %d torn connections\n",
 			rs.RemoteFaults, rs.ShedRequests, rs.ChecksumErrors, rs.TransportErrors)
+		fmt.Printf("remote liveness    %d pings sent (%d pongs), %d dead conns dropped, %d goaways seen\n",
+			rs.PingsSent, rs.PongsReceived, rs.DeadPeers, rs.GoawaysReceived)
+		fmt.Printf("remote failover    %d batches re-routed; breaker %d opens / %d probes / %d closes\n",
+			rs.Failovers, rs.BreakerOpens, rs.BreakerProbes, rs.BreakerCloses)
 	}
 	fmt.Printf("prefetch           %d issued, %d deduped, %d executed, %d failed, %d dropped\n",
 		st.PrefetchIssued, st.PrefetchDeduped, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)

@@ -1,0 +1,118 @@
+package blocksvc
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker tristate.
+type breakerState int32
+
+const (
+	brClosed   breakerState = 0 // healthy: requests flow
+	brOpen     breakerState = 1 // failing: requests are refused until backoff elapses
+	brHalfOpen breakerState = 2 // probing: one request is in flight to test recovery
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is one endpoint's circuit breaker. It opens after threshold
+// consecutive transport failures, then lets exactly one probe through per
+// backoff window (half-open); a probe success closes it, a probe failure
+// reopens it with doubled backoff up to maxBackoff. Only connectivity
+// failures count — a served response carrying per-block faults (including
+// checksum faults) is proof the endpoint works and closes the breaker.
+type breaker struct {
+	threshold  int
+	base       time.Duration
+	maxBackoff time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int           // consecutive failures while closed
+	backoff  time.Duration // current open-window length
+	reopenAt time.Time     // when the next probe is allowed
+}
+
+func newBreaker(threshold int, base, maxBackoff time.Duration) *breaker {
+	return &breaker{threshold: threshold, base: base, maxBackoff: maxBackoff}
+}
+
+// allow reports whether a request may use this endpoint now. In the open
+// state it admits exactly one caller per backoff window — flipping to
+// half-open, so that caller's attempt is the recovery probe (probe=true).
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true, false
+	case brOpen:
+		if now.Before(b.reopenAt) {
+			return false, false
+		}
+		b.state = brHalfOpen
+		return true, true
+	default: // half-open: a probe is already out; don't pile on
+		return false, false
+	}
+}
+
+// success records a healthy round trip; reports whether it closed a
+// previously open/half-open breaker (a recovery, for counters).
+func (b *breaker) success() (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered = b.state != brClosed
+	b.state = brClosed
+	b.consec = 0
+	b.backoff = 0
+	return recovered
+}
+
+// failure records a transport failure; reports whether it opened the
+// breaker (threshold reached, or a failed probe reopening it).
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		b.consec++
+		if b.consec < b.threshold {
+			return false
+		}
+	case brOpen:
+		// Stragglers (e.g. pooled conns to an already-open endpoint dying)
+		// don't extend the window.
+		return false
+	case brHalfOpen:
+		// The probe failed: reopen and back off harder.
+	}
+	b.state = brOpen
+	b.consec = 0
+	if b.backoff == 0 {
+		b.backoff = b.base
+	} else if b.backoff < b.maxBackoff {
+		b.backoff = min(2*b.backoff, b.maxBackoff)
+	}
+	b.reopenAt = now.Add(b.backoff)
+	return true
+}
+
+// current returns the state for gauges and endpoint selection.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultio"
@@ -18,29 +19,78 @@ import (
 	"repro/internal/vec"
 )
 
+// Endpoint names one replica of a block service. All endpoints of a
+// RemoteReader must serve the same volume (geometry is validated against
+// the first welcome) and should share a heartbeat interval.
+type Endpoint struct {
+	// Addr is the replica's TCP address. Ignored when Dial is set.
+	Addr string
+	// Dial, when non-nil, replaces the default TCP dialer for this
+	// endpoint (in-process transports, custom networks).
+	Dial func(ctx context.Context) (net.Conn, error)
+}
+
+// dialFunc resolves the endpoint's dialer.
+func (ep Endpoint) dialFunc() func(ctx context.Context) (net.Conn, error) {
+	if ep.Dial != nil {
+		return ep.Dial
+	}
+	addr := ep.Addr
+	return func(ctx context.Context) (net.Conn, error) {
+		d := net.Dialer{}
+		return d.DialContext(ctx, "tcp", addr)
+	}
+}
+
 // ClientConfig configures a RemoteReader.
 type ClientConfig struct {
-	// Addr is the server's TCP address. Ignored when Dial is set.
+	// Addr is the server's TCP address. Ignored when Dial or Endpoints is
+	// set.
 	Addr string
 	// Dial, when non-nil, replaces the default TCP dialer (in-process
-	// transports, custom networks).
+	// transports, custom networks). Ignored when Endpoints is set.
 	Dial func(ctx context.Context) (net.Conn, error)
+	// Endpoints lists replicas in preference order: requests go to the
+	// first healthy one, and a batch that fails transiently mid-flight is
+	// re-issued transparently to the next. Empty means the single
+	// Addr/Dial endpoint.
+	Endpoints []Endpoint
 	// Conns bounds the connection pool: the number of concurrently
-	// outstanding requests (default 2).
+	// outstanding requests across all endpoints (default 2).
 	Conns int
 	// DialTimeout bounds one connect-plus-handshake (default 5s).
 	DialTimeout time.Duration
 	// Retry is the reconnect policy: how many times, and with what
-	// backoff, a failed dial is retried before a request gives up. Nil
-	// gets 4 attempts from 10ms doubling to 500ms.
+	// backoff, a failed dial is retried before a request gives up on that
+	// endpoint. Nil gets 4 attempts from 10ms doubling to 500ms.
 	Retry *faultio.Retrier
-	// Metrics, when non-nil, exposes the client's counters and request
-	// latency histogram on the given registry (names under "client.",
-	// documented in DESIGN.md §9). Nil disables the export.
+
+	// HeartbeatInterval overrides the server-advertised liveness cadence:
+	// 0 follows each server's welcome, negative disables client-side
+	// liveness (no keepalive pings, no response-read deadlines). Replicas
+	// are expected to agree on the cadence.
+	HeartbeatInterval time.Duration
+	// BreakerThreshold is how many consecutive transport failures open an
+	// endpoint's circuit breaker (default 3). While open, the endpoint is
+	// skipped; after BreakerBackoff one probe per window is let through,
+	// and backoff doubles up to BreakerMaxBackoff until a probe succeeds.
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration // default 250ms
+	BreakerMaxBackoff time.Duration // default 8s
+	// FailoverAttempts caps how many connections one batch may try before
+	// failing its remaining blocks (default len(Endpoints)+1).
+	FailoverAttempts int
+
+	// Metrics, when non-nil, exposes the client's counters, request
+	// latency histogram, and per-endpoint health (names under "client.",
+	// documented in DESIGN.md §9/§10). Nil disables the export.
 	Metrics *obs.Registry
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
+	if len(c.Endpoints) == 0 {
+		c.Endpoints = []Endpoint{{Addr: c.Addr, Dial: c.Dial}}
+	}
 	if c.Conns <= 0 {
 		c.Conns = 2
 	}
@@ -54,6 +104,18 @@ func (c ClientConfig) withDefaults() ClientConfig {
 			MaxDelay:    500 * time.Millisecond,
 		}
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = 250 * time.Millisecond
+	}
+	if c.BreakerMaxBackoff <= 0 {
+		c.BreakerMaxBackoff = 8 * time.Second
+	}
+	if c.FailoverAttempts <= 0 {
+		c.FailoverAttempts = len(c.Endpoints) + 1
+	}
 	return c
 }
 
@@ -61,7 +123,7 @@ func (c ClientConfig) withDefaults() ClientConfig {
 type ClientStats struct {
 	Dials           int64 // successful connects (incl. reconnects)
 	DialRetries     int64 // extra dial attempts beyond each first
-	Requests        int64 // read requests sent
+	Requests        int64 // read batches issued (failover re-issues not re-counted)
 	BlocksRequested int64
 	BlocksServed    int64 // blocks answered with payloads
 	RemoteFaults    int64 // blocks answered with fault statuses
@@ -70,27 +132,45 @@ type ClientStats struct {
 	TransportErrors int64 // torn connections (request failed mid-flight)
 	BytesReceived   int64 // payload bytes received
 	ViewUpdates     int64 // view messages sent
+	Failovers       int64 // batches re-issued to a different endpoint
+	GoawaysReceived int64 // drain announcements seen
+	PingsSent       int64 // keepalive probes sent on idle connections
+	PongsReceived   int64
+	DeadPeers       int64 // idle connections dropped by a failed keepalive
+	BreakerOpens    int64 // circuits opened (threshold hit or probe failed)
+	BreakerProbes   int64 // half-open probes admitted
+	BreakerCloses   int64 // circuits closed again by a healthy round trip
 }
 
-// RemoteReader reads blocks from a blocksvc server. It implements
-// store.BlockReader, store.ContextBlockReader, and store.BatchBlockReader,
-// so it drops into a store.MemCache (and therefore ooc.Runtime) exactly
-// where a local BlockFile would: a whole miss batch travels as one request
-// and returns per-block results. Transport failures surface as transient
-// faults — the layers above already know how to retry those — and
-// reconnection happens on the next request through the configured Retrier.
+// RemoteReader reads blocks from one or more replica blocksvc servers. It
+// implements store.BlockReader, store.ContextBlockReader, and
+// store.BatchBlockReader, so it drops into a store.MemCache (and therefore
+// ooc.Runtime) exactly where a local BlockFile would: a whole miss batch
+// travels as one request and returns per-block results.
+//
+// Failure handling follows the faultio classes: a torn connection or a
+// shed response sends the batch's unanswered blocks to the next healthy
+// endpoint (at most FailoverAttempts connections per batch), per-endpoint
+// circuit breakers keep dead replicas from being redialed in the hot path,
+// and a GOAWAY drains an endpoint without failing anything. Per-block
+// answers — including checksum faults — never trigger failover: an
+// endpoint that answers is healthy, even when its answers are errors.
 // Safe for concurrent use; each pooled connection carries one request at a
 // time.
 type RemoteReader struct {
-	cfg  ClientConfig
-	m    *clientMetrics
-	dial func(ctx context.Context) (net.Conn, error)
+	cfg ClientConfig
+	m   *clientMetrics
+	eps []*endpoint
 
 	header store.Header
 	g      *grid.Grid
+	hb     time.Duration // keepalive cadence (0 = liveness disabled)
 
 	slots chan struct{} // tokens: right to own one connection
 	idle  chan *rconn
+
+	stopKA chan struct{} // closed by Close to stop the keepalive loop
+	kaWG   sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[*rconn]struct{}
@@ -100,18 +180,34 @@ type RemoteReader struct {
 	stats   ClientStats
 }
 
+// endpoint is one replica plus its health state.
+type endpoint struct {
+	idx      int
+	name     string
+	dial     func(ctx context.Context) (net.Conn, error)
+	br       *breaker
+	draining atomic.Bool // set by GOAWAY, cleared by a fresh successful handshake
+
+	dials    atomic.Int64 // successful connects to this endpoint
+	failures atomic.Int64 // transport failures attributed to this endpoint
+}
+
 // rconn is one pooled connection serving one request at a time.
 type rconn struct {
 	c       net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
+	ep      *endpoint
 	session uint64
 	nextReq uint64
+	hb      time.Duration // server-advertised heartbeat interval
+	goaway  bool          // endpoint announced drain on this conn; do not reuse
 }
 
 // Dial connects to a block service and learns the served geometry from its
-// welcome. The remaining pool connections are established lazily as
-// concurrent requests need them.
+// welcome; with multiple endpoints, the first reachable one wins. The
+// remaining pool connections are established lazily as concurrent requests
+// need them.
 func Dial(cfg ClientConfig) (*RemoteReader, error) {
 	cfg = cfg.withDefaults()
 	r := &RemoteReader{
@@ -120,26 +216,43 @@ func Dial(cfg ClientConfig) (*RemoteReader, error) {
 		idle:  make(chan *rconn, cfg.Conns),
 		conns: make(map[*rconn]struct{}),
 	}
-	r.m = newClientMetrics(r, cfg.Metrics)
-	r.dial = cfg.Dial
-	if r.dial == nil {
-		addr := cfg.Addr
-		r.dial = func(ctx context.Context) (net.Conn, error) {
-			d := net.Dialer{}
-			return d.DialContext(ctx, "tcp", addr)
+	for i, e := range cfg.Endpoints {
+		name := e.Addr
+		if name == "" {
+			name = fmt.Sprintf("endpoint-%d", i)
 		}
+		r.eps = append(r.eps, &endpoint{
+			idx:  i,
+			name: name,
+			dial: e.dialFunc(),
+			br:   newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
+		})
 	}
+	r.m = newClientMetrics(r, cfg.Metrics)
 	for i := 0; i < cfg.Conns; i++ {
 		r.slots <- struct{}{}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.DialTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(len(r.eps))*cfg.DialTimeout)
 	defer cancel()
-	conn, err := r.connect(ctx)
+	var conn *rconn
+	var err error
+	for _, ep := range r.eps {
+		if conn, err = r.connect(ctx, ep); err == nil {
+			break
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
+	r.hb = r.connHB(conn)
 	r.release(conn)
 	<-r.slots // the eager connection consumed one slot
+	if r.hb > 0 {
+		r.stopKA = make(chan struct{})
+		r.kaWG.Add(1)
+		go r.keepaliveLoop()
+	}
 	return r, nil
 }
 
@@ -149,18 +262,31 @@ func (r *RemoteReader) Header() store.Header { return r.header }
 // Grid returns the served volume's block geometry.
 func (r *RemoteReader) Grid() *grid.Grid { return r.g }
 
-// connect dials and handshakes one connection, retrying with backoff under
-// the configured Retrier.
-func (r *RemoteReader) connect(ctx context.Context) (*rconn, error) {
+// connHB resolves the liveness cadence for one connection: the config
+// override when set, else what the server advertised.
+func (r *RemoteReader) connHB(rc *rconn) time.Duration {
+	if r.cfg.HeartbeatInterval < 0 {
+		return 0
+	}
+	if r.cfg.HeartbeatInterval > 0 {
+		return r.cfg.HeartbeatInterval
+	}
+	return rc.hb
+}
+
+// connect dials and handshakes one connection to ep, retrying with backoff
+// under the configured Retrier. Success clears the endpoint's draining
+// mark (it evidently accepts sessions again) and feeds its breaker.
+func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error) {
 	var conn *rconn
 	attempts, err := r.cfg.Retry.Do(ctx, func(c context.Context) error {
 		tctx, cancel := context.WithTimeout(c, r.cfg.DialTimeout)
 		defer cancel()
-		raw, err := r.dial(tctx)
+		raw, err := ep.dial(tctx)
 		if err != nil {
 			return faultio.Transient(err)
 		}
-		rc, err := r.handshake(raw)
+		rc, err := r.handshake(ep, raw)
 		if err != nil {
 			raw.Close()
 			return err
@@ -170,8 +296,14 @@ func (r *RemoteReader) connect(ctx context.Context) (*rconn, error) {
 	})
 	r.count(func(s *ClientStats) { s.DialRetries += int64(attempts - 1) })
 	if err != nil {
-		return nil, fmt.Errorf("blocksvc: connect: %w", err)
+		if ctx.Err() == nil && faultio.Retryable(err) {
+			r.noteFailure(ep)
+		}
+		return nil, fmt.Errorf("blocksvc: connect %s: %w", ep.name, err)
 	}
+	ep.dials.Add(1)
+	ep.draining.Store(false)
+	r.noteSuccess(ep)
 	r.count(func(s *ClientStats) { s.Dials++ })
 	r.mu.Lock()
 	if r.closed {
@@ -185,12 +317,13 @@ func (r *RemoteReader) connect(ctx context.Context) (*rconn, error) {
 }
 
 // handshake exchanges hello/welcome and validates the geometry against the
-// first connection's.
-func (r *RemoteReader) handshake(raw net.Conn) (*rconn, error) {
+// first connection's — replicas must serve the same volume.
+func (r *RemoteReader) handshake(ep *endpoint, raw net.Conn) (*rconn, error) {
 	rc := &rconn{
 		c:  raw,
 		br: bufio.NewReaderSize(raw, 256<<10),
 		bw: bufio.NewWriterSize(raw, 64<<10),
+		ep: ep,
 	}
 	var e enc
 	e.u32(protoMagic)
@@ -219,6 +352,7 @@ func (r *RemoteReader) handshake(raw net.Conn) (*rconn, error) {
 	}
 	hdr := welcome.Header
 	rc.session = welcome.Session
+	rc.hb = time.Duration(welcome.HeartbeatMillis) * time.Millisecond
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.g == nil {
@@ -234,46 +368,131 @@ func (r *RemoteReader) handshake(raw net.Conn) (*rconn, error) {
 	return rc, nil
 }
 
-// acquire returns a pooled connection: an idle one when available, a fresh
-// dial when the pool has spare slots, otherwise it waits for a release.
-func (r *RemoteReader) acquire(ctx context.Context) (*rconn, error) {
+// pickEndpoint chooses where a fresh connection should go. Healthy
+// (closed-breaker, non-draining) endpoints win in config order, then
+// half-open probes of recovering ones; as a last resort anything the
+// breaker admits — including the endpoint being avoided or a draining
+// replica — beats failing the batch outright.
+func (r *RemoteReader) pickEndpoint(avoid *endpoint) *endpoint {
+	now := time.Now()
+	for _, ep := range r.eps {
+		if ep != avoid && !ep.draining.Load() && ep.br.current() == brClosed {
+			return ep
+		}
+	}
+	for _, ep := range r.eps {
+		if ep == avoid || ep.draining.Load() {
+			continue
+		}
+		if ok, probe := ep.br.allow(now); ok {
+			if probe {
+				r.count(func(s *ClientStats) { s.BreakerProbes++ })
+			}
+			return ep
+		}
+	}
+	for _, ep := range r.eps {
+		if ok, probe := ep.br.allow(now); ok {
+			if probe {
+				r.count(func(s *ClientStats) { s.BreakerProbes++ })
+			}
+			return ep
+		}
+	}
+	return nil
+}
+
+// acquire returns a pooled connection, preferring idle conns to healthy
+// endpoints other than avoid, then fresh dials, then whatever becomes
+// available. Conns whose endpoint is draining are discarded on sight.
+func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint) (*rconn, error) {
 	r.mu.Lock()
 	closed := r.closed
 	r.mu.Unlock()
 	if closed {
 		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
 	}
-	select {
-	case rc := <-r.idle:
-		return rc, nil
-	default:
-	}
-	select {
-	case rc := <-r.idle:
-		return rc, nil
-	case <-r.slots:
-		rc, err := r.connect(ctx)
-		if err != nil {
-			r.slots <- struct{}{}
-			return nil, err
+	// Fast path: scan the idle pool for a conn to a usable endpoint,
+	// setting avoided ones aside rather than consuming them.
+	var aside []*rconn
+	var got *rconn
+scan:
+	for {
+		select {
+		case rc := <-r.idle:
+			if rc.goaway || rc.ep.draining.Load() {
+				r.drop(rc)
+				continue
+			}
+			if rc.ep == avoid && len(r.eps) > 1 {
+				aside = append(aside, rc)
+				continue
+			}
+			got = rc
+			break scan
+		default:
+			break scan
 		}
-		return rc, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	}
+	for _, rc := range aside {
+		r.release(rc)
+	}
+	if got != nil {
+		return got, nil
+	}
+	for {
+		select {
+		case rc := <-r.idle:
+			if rc.goaway || rc.ep.draining.Load() {
+				r.drop(rc)
+				continue
+			}
+			return rc, nil // possibly the avoided endpoint: a conn beats none
+		case <-r.slots:
+			ep := r.pickEndpoint(avoid)
+			if ep == nil {
+				r.slots <- struct{}{}
+				return nil, fmt.Errorf("blocksvc: no admissible endpoint (breakers open): %w",
+					faultio.ErrTransient)
+			}
+			rc, err := r.connect(ctx, ep)
+			if err != nil {
+				r.slots <- struct{}{}
+				return nil, err
+			}
+			return rc, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 }
 
-// release parks a healthy connection for reuse (or closes it when the
-// client has shut down).
+// release parks a healthy connection for reuse. The closed check and the
+// channel send happen under r.mu — the same lock Close drains the pool
+// under — so a conn can never slip into the pool behind Close: either this
+// release observes closed and drops, or its send completes before Close's
+// drain runs. The send never blocks; idle's capacity is Conns and at most
+// Conns rconns exist.
 func (r *RemoteReader) release(rc *rconn) {
 	r.mu.Lock()
-	closed := r.closed
-	r.mu.Unlock()
-	if closed {
+	if r.closed {
+		r.mu.Unlock()
 		r.drop(rc)
 		return
 	}
 	r.idle <- rc
+	r.mu.Unlock()
+}
+
+// finishConn returns a conn to the pool after a completed exchange,
+// retiring it instead when its endpoint said goaway.
+func (r *RemoteReader) finishConn(rc *rconn) {
+	rc.c.SetReadDeadline(time.Time{})
+	if rc.goaway {
+		r.drop(rc)
+		return
+	}
+	r.release(rc)
 }
 
 // drop discards a torn connection and frees its pool slot for a redial.
@@ -288,8 +507,23 @@ func (r *RemoteReader) drop(rc *rconn) {
 	}
 }
 
-// Close tears down every connection. In-flight requests fail transiently;
-// new requests fail permanently.
+// noteSuccess feeds a healthy round trip to the endpoint's breaker.
+func (r *RemoteReader) noteSuccess(ep *endpoint) {
+	if ep.br.success() {
+		r.count(func(s *ClientStats) { s.BreakerCloses++ })
+	}
+}
+
+// noteFailure attributes a transport failure to the endpoint.
+func (r *RemoteReader) noteFailure(ep *endpoint) {
+	ep.failures.Add(1)
+	if ep.br.failure(time.Now()) {
+		r.count(func(s *ClientStats) { s.BreakerOpens++ })
+	}
+}
+
+// Close tears down every connection and stops the keepalive loop.
+// In-flight requests fail transiently; new requests fail permanently.
 func (r *RemoteReader) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -300,14 +534,23 @@ func (r *RemoteReader) Close() error {
 	for rc := range r.conns {
 		rc.c.Close()
 	}
-	r.mu.Unlock()
+	// Drain the idle pool under the same lock release publishes under;
+	// any release racing us observes closed and self-drops.
+drain:
 	for {
 		select {
-		case <-r.idle:
+		case rc := <-r.idle:
+			rc.c.Close()
 		default:
-			return nil
+			break drain
 		}
 	}
+	r.mu.Unlock()
+	if r.stopKA != nil {
+		close(r.stopKA)
+		r.kaWG.Wait()
+	}
+	return nil
 }
 
 // Snapshot returns a consistent copy of the client counters under one lock.
@@ -321,6 +564,109 @@ func (r *RemoteReader) count(f func(*ClientStats)) {
 	r.statsMu.Lock()
 	f(&r.stats)
 	r.statsMu.Unlock()
+}
+
+// keepaliveLoop pings idle pooled connections at the liveness cadence, so
+// a quiet client still notices a dead or draining server within
+// 2×heartbeat — connections busy with requests get their liveness from the
+// response stream's read deadlines instead.
+func (r *RemoteReader) keepaliveLoop() {
+	defer r.kaWG.Done()
+	tick := time.NewTicker(r.hb)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopKA:
+			return
+		case <-tick.C:
+		}
+		var idle []*rconn
+	gather:
+		for {
+			select {
+			case rc := <-r.idle:
+				idle = append(idle, rc)
+			default:
+				break gather
+			}
+		}
+		for _, rc := range idle {
+			if err := r.ping(rc); err != nil {
+				r.count(func(s *ClientStats) { s.DeadPeers++ })
+				r.noteFailure(rc.ep)
+				r.drop(rc)
+				continue
+			}
+			if rc.goaway {
+				r.drop(rc)
+				continue
+			}
+			r.noteSuccess(rc.ep)
+			r.release(rc)
+		}
+	}
+}
+
+// ping performs one synchronous liveness round trip on an idle conn,
+// consuming any server pings or goaway queued on it along the way.
+func (r *RemoteReader) ping(rc *rconn) error {
+	hb := r.connHB(rc)
+	if hb <= 0 {
+		hb = r.hb
+	}
+	deadline := time.Now().Add(2 * hb)
+	rc.c.SetWriteDeadline(deadline)
+	rc.c.SetReadDeadline(deadline)
+	defer func() {
+		rc.c.SetWriteDeadline(time.Time{})
+		rc.c.SetReadDeadline(time.Time{})
+	}()
+	rc.nextReq++
+	var e enc
+	e.u64(rc.nextReq)
+	if err := writeFrame(rc.bw, msgPing, e.b); err != nil {
+		return err
+	}
+	if err := rc.bw.Flush(); err != nil {
+		return err
+	}
+	r.count(func(s *ClientStats) { s.PingsSent++ })
+	for {
+		typ, payload, err := readFrame(rc.br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgPong:
+			if _, ok := decodeToken(payload); !ok {
+				return fmt.Errorf("blocksvc: bad pong")
+			}
+			r.count(func(s *ClientStats) { s.PongsReceived++ })
+			return nil
+		case msgPing:
+			token, ok := decodeToken(payload)
+			if !ok {
+				return fmt.Errorf("blocksvc: bad ping")
+			}
+			var p enc
+			p.u64(token)
+			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
+				return err
+			}
+			if err := rc.bw.Flush(); err != nil {
+				return err
+			}
+		case msgGoaway:
+			if _, ok := decodeGoaway(payload); !ok {
+				return fmt.Errorf("blocksvc: bad goaway")
+			}
+			rc.goaway = true
+			rc.ep.draining.Store(true)
+			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
+		default:
+			return fmt.Errorf("blocksvc: unexpected frame %d on idle connection", typ)
+		}
+	}
 }
 
 // ReadBlock implements store.BlockReader.
@@ -340,13 +686,19 @@ func (r *RemoteReader) ReadBlockContext(ctx context.Context, id grid.BlockID) ([
 // ReadBlocks implements store.BatchBlockReader: one request frame carries
 // the whole batch, and the server streams back per-block results (the
 // store's merged sequential reads happen server-side). A transport failure
-// fails the outstanding blocks with a transient fault — the retry layers
-// above re-request, and the next request redials through the Retrier.
+// or shed mid-batch re-issues the unanswered blocks to the next healthy
+// endpoint — blocks already answered are kept — until the batch completes
+// or FailoverAttempts connections have been tried; only then do the
+// remaining blocks fail with a transient fault for the retry layers above.
 func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
 	vals := make([][]float32, len(ids))
 	errs := make([]error, len(ids))
-	fail := func(err error) ([][]float32, []error) {
-		for i := range errs {
+	pending := make([]int, len(ids))
+	for i := range pending {
+		pending[i] = i
+	}
+	failPending := func(err error) ([][]float32, []error) {
+		for _, i := range pending {
 			if vals[i] == nil && errs[i] == nil {
 				errs[i] = err
 			}
@@ -354,26 +706,62 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		return vals, errs
 	}
 	if err := ctx.Err(); err != nil {
-		return fail(err)
-	}
-	rc, err := r.acquire(ctx)
-	if err != nil {
-		return fail(err)
+		return failPending(err)
 	}
 	r.count(func(s *ClientStats) { s.Requests++; s.BlocksRequested += int64(len(ids)) })
-	// End-to-end request latency: send through last done frame, every
-	// outcome (served, shed, torn) included.
+	// End-to-end batch latency: acquire through last done frame, every
+	// outcome (served, shed, torn, failed over) included.
 	reqStart := time.Now()
 	defer func() { r.m.requestNs.Observe(time.Since(reqStart).Nanoseconds()) }()
 
+	var avoid *endpoint
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		rc, err := r.acquire(ctx, avoid)
+		if err != nil {
+			return failPending(err)
+		}
+		if attempt > 1 && rc.ep != avoid {
+			r.count(func(s *ClientStats) { s.Failovers++ })
+		}
+		var done bool
+		done, lastErr = r.request(ctx, rc, ids, vals, errs, pending)
+		if done {
+			return vals, errs
+		}
+		// Keep what this attempt answered; re-issue only the rest.
+		still := pending[:0]
+		for _, i := range pending {
+			if vals[i] == nil && errs[i] == nil {
+				still = append(still, i)
+			}
+		}
+		pending = still
+		if len(pending) == 0 {
+			return vals, errs
+		}
+		avoid = rc.ep
+		if attempt >= r.cfg.FailoverAttempts || ctx.Err() != nil {
+			return failPending(lastErr)
+		}
+	}
+}
+
+// request issues one read for the pending subset of ids over rc and
+// decodes the streamed response in place. It returns done=true when the
+// response completed (every pending block answered); otherwise the batch
+// should fail over with the returned error. Conn disposition is handled
+// here: completed exchanges return the conn to the pool, torn ones drop it.
+func (r *RemoteReader) request(ctx context.Context, rc *rconn, ids []grid.BlockID,
+	vals [][]float32, errs []error, pending []int) (bool, error) {
 	rc.nextReq++
 	req := rc.nextReq
 	var e enc
 	e.u64(req)
 	e.u32(deadlineMillis(ctx))
-	e.u32(uint32(len(ids)))
-	for _, id := range ids {
-		e.u32(uint32(id))
+	e.u32(uint32(len(pending)))
+	for _, i := range pending {
+		e.u32(uint32(ids[i]))
 	}
 
 	// A context that ends mid-request must tear the read loop out of its
@@ -383,25 +771,48 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 	})
 	defer stop()
 
-	torn := func(err error) ([][]float32, []error) {
+	var served, bytes, faults int64
+	defer func() {
+		r.count(func(s *ClientStats) {
+			s.BlocksServed += served
+			s.RemoteFaults += faults
+			s.BytesReceived += bytes
+		})
+	}()
+
+	torn := func(err error) (bool, error) {
 		r.count(func(s *ClientStats) { s.TransportErrors++ })
 		r.drop(rc)
 		if cerr := ctx.Err(); cerr != nil {
-			return fail(cerr)
+			return false, cerr // the tear was self-inflicted, not the endpoint's fault
 		}
-		return fail(fmt.Errorf("blocksvc: connection lost: %v: %w", err, faultio.ErrTransient))
+		r.noteFailure(rc.ep)
+		return false, fmt.Errorf("blocksvc: connection lost: %v: %w", err, faultio.ErrTransient)
 	}
 
+	hb := r.connHB(rc)
+	if hb > 0 {
+		rc.c.SetWriteDeadline(time.Now().Add(2 * hb))
+	}
 	if err := writeFrame(rc.bw, msgRead, e.b); err != nil {
 		return torn(err)
 	}
 	if err := rc.bw.Flush(); err != nil {
 		return torn(err)
 	}
+	if hb > 0 {
+		rc.c.SetWriteDeadline(time.Time{})
+	}
 
 	answered := 0
-	var served, bytes, faults int64
-	for answered < len(ids) {
+	for answered < len(pending) {
+		// The server (or its heartbeat loop) must produce some frame within
+		// 2×heartbeat or it is dead. The ctx check narrows the race with the
+		// cancellation AfterFunc overwriting its expired deadline; a lost
+		// race costs one 2×hb wait, not a hang.
+		if hb > 0 && ctx.Err() == nil {
+			rc.c.SetReadDeadline(time.Now().Add(2 * hb))
+		}
 		typ, payload, err := readFrame(rc.br)
 		if err != nil {
 			return torn(err)
@@ -412,11 +823,11 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 			gotReq := d.u64()
 			idx := int(d.u32())
 			n := int(d.u16())
-			if gotReq != req || idx < 0 || idx+n > len(ids) {
+			if gotReq != req || idx < 0 || idx+n > len(pending) {
 				return torn(fmt.Errorf("stray blocks frame"))
 			}
 			for k := 0; k < n; k++ {
-				i := idx + k
+				i := pending[idx+k]
 				st := blockStatus(d.u8())
 				if st != statusOK {
 					errs[i] = blockErr(st, ids[i])
@@ -454,18 +865,43 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 				return torn(fmt.Errorf("stray shed frame"))
 			}
 			r.count(func(s *ClientStats) { s.ShedRequests++ })
-			shed := fmt.Errorf("blocksvc: request shed: %w", faultio.Transient(ErrShed))
+			// Shed is proof of life: the endpoint answered, it is just
+			// over capacity. Feed the breaker success and fail over.
+			r.noteSuccess(rc.ep)
 			stop()
-			rc.c.SetReadDeadline(time.Time{})
-			r.release(rc)
-			return fail(shed)
+			r.finishConn(rc)
+			return false, fmt.Errorf("blocksvc: request shed: %w", faultio.Transient(ErrShed))
 		case msgDone:
 			if d.u64() != req || !d.ok() {
 				return torn(fmt.Errorf("stray done frame"))
 			}
 			// Done before every block answered: protocol violation.
 			return torn(fmt.Errorf("done with %d of %d blocks unanswered",
-				len(ids)-answered, len(ids)))
+				len(pending)-answered, len(pending)))
+		case msgPing:
+			token, ok := decodeToken(payload)
+			if !ok {
+				return torn(fmt.Errorf("bad ping"))
+			}
+			var p enc
+			p.u64(token)
+			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
+				return torn(err)
+			}
+			if err := rc.bw.Flush(); err != nil {
+				return torn(err)
+			}
+		case msgPong:
+			// A straggler from keepalive; its arrival already proved life.
+		case msgGoaway:
+			if _, ok := decodeGoaway(payload); !ok {
+				return torn(fmt.Errorf("bad goaway"))
+			}
+			// Finish this exchange — the server serves what is on the wire —
+			// but do not reuse the conn or prefer this endpoint again.
+			rc.goaway = true
+			rc.ep.draining.Store(true)
+			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
 		case msgError:
 			return torn(fmt.Errorf("server error: %s", payload))
 		default:
@@ -473,32 +909,54 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		}
 	}
 	// Consume the trailing done frame so the connection is clean for reuse.
-	typ, payload, err := readFrame(rc.br)
-	if err != nil {
-		return torn(err)
+	for {
+		typ, payload, err := readFrame(rc.br)
+		if err != nil {
+			return torn(err)
+		}
+		d := dec{b: payload}
+		switch typ {
+		case msgDone:
+			if d.u64() != req || !d.ok() {
+				return torn(fmt.Errorf("stray done frame"))
+			}
+			r.noteSuccess(rc.ep)
+			// Clear any cancellation deadline the AfterFunc may have armed
+			// so the connection is reusable.
+			stop()
+			r.finishConn(rc)
+			return true, nil
+		case msgPing:
+			token, ok := decodeToken(payload)
+			if !ok {
+				return torn(fmt.Errorf("bad ping"))
+			}
+			var p enc
+			p.u64(token)
+			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
+				return torn(err)
+			}
+			if err := rc.bw.Flush(); err != nil {
+				return torn(err)
+			}
+		case msgGoaway:
+			if _, ok := decodeGoaway(payload); !ok {
+				return torn(fmt.Errorf("bad goaway"))
+			}
+			rc.goaway = true
+			rc.ep.draining.Store(true)
+			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
+		default:
+			return torn(fmt.Errorf("expected done frame, got type %d", typ))
+		}
 	}
-	d := dec{b: payload}
-	if typ != msgDone || d.u64() != req || !d.ok() {
-		return torn(fmt.Errorf("expected done frame, got type %d", typ))
-	}
-	r.count(func(s *ClientStats) {
-		s.BlocksServed += served
-		s.RemoteFaults += faults
-		s.BytesReceived += bytes
-	})
-	// Clear any cancellation deadline the AfterFunc may have armed so the
-	// connection is reusable.
-	stop()
-	rc.c.SetReadDeadline(time.Time{})
-	r.release(rc)
-	return vals, errs
 }
 
 // SendView tells the server where this session's camera is, driving its
 // predictive prefetch into the shared cache. Best-effort: an error only
 // means the hint was lost.
 func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
-	rc, err := r.acquire(ctx)
+	rc, err := r.acquire(ctx, nil)
 	if err != nil {
 		return err
 	}
@@ -507,15 +965,17 @@ func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
 	e.u64(math.Float64bits(pos.Y))
 	e.u64(math.Float64bits(pos.Z))
 	if err := writeFrame(rc.bw, msgView, e.b); err != nil {
+		r.noteFailure(rc.ep)
 		r.drop(rc)
 		return err
 	}
 	if err := rc.bw.Flush(); err != nil {
+		r.noteFailure(rc.ep)
 		r.drop(rc)
 		return err
 	}
 	r.count(func(s *ClientStats) { s.ViewUpdates++ })
-	r.release(rc)
+	r.finishConn(rc)
 	return nil
 }
 

@@ -32,9 +32,10 @@ func decodeHello(payload []byte) (helloMsg, bool) {
 
 // welcomeMsg is the decoded server welcome.
 type welcomeMsg struct {
-	Version uint16
-	Session uint64
-	Header  store.Header
+	Version         uint16
+	Session         uint64
+	Header          store.Header
+	HeartbeatMillis uint32 // server's liveness cadence; 0 = disabled
 }
 
 func decodeWelcome(payload []byte) (welcomeMsg, bool) {
@@ -47,10 +48,32 @@ func decodeWelcome(payload []byte) (welcomeMsg, bool) {
 		Blocks:   int32(d.u32()),
 		Version:  int32(d.u32()),
 	}
+	m.HeartbeatMillis = d.u32()
 	if !d.ok() {
 		return welcomeMsg{}, false
 	}
 	return m, true
+}
+
+// decodeToken decodes a ping or pong payload: the probe token.
+func decodeToken(payload []byte) (uint64, bool) {
+	d := dec{b: payload}
+	token := d.u64()
+	if !d.ok() {
+		return 0, false
+	}
+	return token, true
+}
+
+// decodeGoaway decodes a goaway payload: how long the server will keep
+// serving in-flight work before closing (0 = unspecified).
+func decodeGoaway(payload []byte) (uint32, bool) {
+	d := dec{b: payload}
+	millis := d.u32()
+	if !d.ok() {
+		return 0, false
+	}
+	return millis, true
 }
 
 // readMsg is the decoded read request.

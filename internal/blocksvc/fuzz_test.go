@@ -30,9 +30,15 @@ func seedFrames(t testing.TB) [][]byte {
 	var welcome enc
 	welcome.u16(ProtoVersion)
 	welcome.u64(7)
-	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3} {
+	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3, 5000} {
 		welcome.u32(v)
 	}
+
+	var ping enc
+	ping.u64(99)
+
+	var goaway enc
+	goaway.u32(1500)
 
 	var read enc
 	read.u64(1)
@@ -52,6 +58,9 @@ func seedFrames(t testing.TB) [][]byte {
 		frameBytes(t, msgWelcome, welcome.b),
 		frameBytes(t, msgRead, read.b),
 		frameBytes(t, msgView, view.b),
+		frameBytes(t, msgPing, ping.b),
+		frameBytes(t, msgPong, ping.b),
+		frameBytes(t, msgGoaway, goaway.b),
 		frameBytes(t, msgRead, nil),       // short payload
 		{0xff, 0xff, 0xff, 0xff, msgRead}, // oversized length prefix
 	}
@@ -92,6 +101,10 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		case msgView:
 			decodeView(payload)
+		case msgPing, msgPong:
+			decodeToken(payload)
+		case msgGoaway:
+			decodeGoaway(payload)
 		}
 	})
 }

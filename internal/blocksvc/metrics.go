@@ -40,6 +40,9 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	counter("svc.prefetch_executed", func(st *ServerStats) int64 { return st.PrefetchExecuted })
 	counter("svc.prefetch_failed", func(st *ServerStats) int64 { return st.PrefetchFailed })
 	counter("svc.prefetch_dropped", func(st *ServerStats) int64 { return st.PrefetchDropped })
+	counter("svc.heartbeats_sent", func(st *ServerStats) int64 { return st.HeartbeatsSent })
+	counter("svc.dead_peers", func(st *ServerStats) int64 { return st.DeadPeers })
+	counter("svc.goaways_sent", func(st *ServerStats) int64 { return st.GoawaysSent })
 	reg.GaugeFunc("svc.active_sessions", func() int64 { return s.Snapshot().ActiveSessions })
 	reg.GaugeFunc("svc.inflight_bytes", s.sem.InUse)
 	return m
@@ -93,5 +96,27 @@ func newClientMetrics(r *RemoteReader, reg *obs.Registry) *clientMetrics {
 	counter("client.transport_errors", func(st *ClientStats) int64 { return st.TransportErrors })
 	counter("client.bytes_received", func(st *ClientStats) int64 { return st.BytesReceived })
 	counter("client.view_updates", func(st *ClientStats) int64 { return st.ViewUpdates })
+	counter("client.failovers", func(st *ClientStats) int64 { return st.Failovers })
+	counter("client.goaways_received", func(st *ClientStats) int64 { return st.GoawaysReceived })
+	counter("client.pings_sent", func(st *ClientStats) int64 { return st.PingsSent })
+	counter("client.pongs_received", func(st *ClientStats) int64 { return st.PongsReceived })
+	counter("client.dead_peers", func(st *ClientStats) int64 { return st.DeadPeers })
+	counter("client.breaker_opens", func(st *ClientStats) int64 { return st.BreakerOpens })
+	counter("client.breaker_probes", func(st *ClientStats) int64 { return st.BreakerProbes })
+	counter("client.breaker_closes", func(st *ClientStats) int64 { return st.BreakerCloses })
+	for _, ep := range r.eps {
+		ep := ep
+		prefix := fmt.Sprintf("client.endpoint.%d.", ep.idx)
+		reg.CounterFunc(prefix+"dials", ep.dials.Load)
+		reg.CounterFunc(prefix+"failures", ep.failures.Load)
+		// 0=closed, 1=open, 2=half-open (breakerState values).
+		reg.GaugeFunc(prefix+"breaker_state", func() int64 { return int64(ep.br.current()) })
+		reg.GaugeFunc(prefix+"draining", func() int64 {
+			if ep.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	}
 	return m
 }

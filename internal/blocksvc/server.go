@@ -3,10 +3,12 @@ package blocksvc
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,8 +63,17 @@ type Config struct {
 	// this size (default 2 MiB).
 	ResponseRunBytes int64
 	// HandshakeTimeout bounds how long a fresh connection may take to send
-	// its hello (default 10s).
+	// its hello — and, symmetrically, how long the server will spend
+	// writing the welcome to a peer that never drains its receive buffer
+	// (default 10s).
 	HandshakeTimeout time.Duration
+	// HeartbeatInterval is the liveness cadence advertised in the welcome:
+	// each session pings the client at this interval and requires some
+	// inbound frame within twice of it, so a dead or wedged peer is torn
+	// down within 2×HeartbeatInterval instead of pinning its session and
+	// per-session gauges forever. 0 means the 5s default; negative
+	// disables liveness entirely.
+	HeartbeatInterval time.Duration
 
 	// Metrics, when non-nil, exposes the server's counters, admission-wait
 	// histograms, and per-session in-flight gauges on the given registry
@@ -93,7 +104,18 @@ func (c Config) withDefaults() Config {
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 10 * time.Second
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 5 * time.Second
+	}
 	return c
+}
+
+// heartbeat returns the effective liveness interval: 0 when disabled.
+func (c Config) heartbeat() time.Duration {
+	if c.HeartbeatInterval < 0 {
+		return 0
+	}
+	return c.HeartbeatInterval
 }
 
 // ServerStats counts server activity. Taken as one consistent snapshot
@@ -112,6 +134,9 @@ type ServerStats struct {
 	PrefetchExecuted int64
 	PrefetchFailed   int64
 	PrefetchDropped  int64
+	HeartbeatsSent   int64 // pings sent by session liveness loops
+	DeadPeers        int64 // sessions torn down by an expired idle deadline
+	GoawaysSent      int64 // drain announcements delivered
 }
 
 // Server serves block reads to many concurrent sessions from one shared
@@ -129,6 +154,11 @@ type Server struct {
 	sessions  map[*session]struct{}
 	nextID    uint64
 	closed    bool
+	draining  bool
+
+	// activeReqs counts read requests currently being served across all
+	// sessions; Drain waits for it to hit zero.
+	activeReqs atomic.Int64
 
 	statsMu sync.Mutex
 	stats   ServerStats
@@ -179,7 +209,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if s.ctx.Err() != nil {
+			if s.ctx.Err() != nil || s.stopping() {
 				return nil
 			}
 			return err
@@ -188,13 +218,21 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// stopping reports whether the server has begun shutting down (drain or
+// close), at which point accept errors are expected, not reportable.
+func (s *Server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
 // StartSession runs one session over an already established connection
 // (Serve calls it per accept; in-process transports call it directly). The
 // connection is owned by the server afterwards. Returns false if the
 // server is closed.
 func (s *Server) StartSession(conn net.Conn) bool {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		conn.Close()
 		return false
@@ -221,6 +259,66 @@ func (s *Server) StartSession(conn net.Conn) bool {
 		ss.run()
 	}()
 	return true
+}
+
+// Drain gracefully retires the server: it stops accepting new sessions,
+// announces GOAWAY to every connected client (failover-aware clients move
+// new work to a replica), finishes the read requests already in flight,
+// then closes. ctx bounds how long in-flight work may take — when it ends
+// first, the remaining work is cut off by Close and Drain returns ctx's
+// error; a full drain returns nil. Concurrent and repeat calls are safe;
+// whichever Drain or Close finishes first wins.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	listeners := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+
+	for _, l := range listeners {
+		l.Close()
+	}
+	var drainMillis uint32
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			drainMillis = uint32(min(ms, math.MaxUint32))
+		}
+	}
+	var e enc
+	e.u32(drainMillis)
+	sent := int64(0)
+	for _, ss := range sessions {
+		if ss.send(msgGoaway, e.b) == nil {
+			sent++
+		}
+	}
+	s.count(func(st *ServerStats) { st.GoawaysSent += sent })
+
+	var err error
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.activeReqs.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-tick.C:
+			continue
+		}
+		break
+	}
+	s.Close()
+	return err
 }
 
 // Close stops accepting, disconnects every session (canceling their
@@ -321,10 +419,23 @@ func (ss *session) run() {
 		ss.reqWG.Add(1)
 		go ss.prefetchLoop()
 	}
+	hb := ss.s.cfg.heartbeat()
+	if hb > 0 {
+		ss.reqWG.Add(1)
+		go ss.heartbeatLoop(hb)
+	}
 	for {
+		// Any inbound frame proves the peer is alive; requiring one within
+		// 2×heartbeat bounds how long a dead client can pin this session.
+		if hb > 0 {
+			ss.conn.SetReadDeadline(time.Now().Add(2 * hb))
+		}
 		typ, payload, err := readFrame(ss.br)
 		if err != nil {
-			return // disconnect or torn frame: tear the session down
+			if hb > 0 && errors.Is(err, os.ErrDeadlineExceeded) && ss.ctx.Err() == nil {
+				ss.s.count(func(st *ServerStats) { st.DeadPeers++ })
+			}
+			return // disconnect, torn frame, or dead peer: tear the session down
 		}
 		switch typ {
 		case msgRead:
@@ -335,6 +446,21 @@ func (ss *session) run() {
 			if !ss.handleView(payload) {
 				return
 			}
+		case msgPing:
+			token, ok := decodeToken(payload)
+			if !ok {
+				ss.fail("bad ping")
+				return
+			}
+			var e enc
+			e.u64(token)
+			ss.send(msgPong, e.b)
+		case msgPong:
+			if _, ok := decodeToken(payload); !ok {
+				ss.fail("bad pong")
+				return
+			}
+			// The frame's arrival was the point; tokens are not matched.
 		default:
 			ss.fail(fmt.Sprintf("unexpected message type %d", typ))
 			return
@@ -342,15 +468,44 @@ func (ss *session) run() {
 	}
 }
 
-// handshake validates the client hello and answers with the session id and
-// served geometry.
+// heartbeatLoop pings the client at the liveness cadence so an otherwise
+// idle client has inbound traffic to answer (its own read deadline) and
+// this session produces the frames the client's deadline wants to see.
+func (ss *session) heartbeatLoop(interval time.Duration) {
+	defer ss.reqWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var token uint64
+	for {
+		select {
+		case <-ss.ctx.Done():
+			return
+		case <-tick.C:
+			token++
+			var e enc
+			e.u64(token)
+			if ss.send(msgPing, e.b) != nil {
+				return
+			}
+			ss.s.count(func(st *ServerStats) { st.HeartbeatsSent++ })
+		}
+	}
+}
+
+// handshake validates the client hello and answers with the session id,
+// served geometry, and liveness cadence. Both directions are bounded by
+// HandshakeTimeout: the read deadline covers a client that never says
+// hello, the write deadline covers a slow-loris peer that connects and
+// never drains its receive buffer — without it the welcome write blocks
+// and pins this goroutine forever.
 func (ss *session) handshake() error {
-	ss.conn.SetReadDeadline(time.Now().Add(ss.s.cfg.HandshakeTimeout))
+	deadline := time.Now().Add(ss.s.cfg.HandshakeTimeout)
+	ss.conn.SetReadDeadline(deadline)
+	ss.conn.SetWriteDeadline(deadline)
 	typ, payload, err := readFrame(ss.br)
 	if err != nil {
 		return err
 	}
-	ss.conn.SetReadDeadline(time.Time{})
 	hello, ok := decodeHello(payload)
 	if typ != msgHello || !ok || hello.Magic != protoMagic {
 		ss.fail("bad hello")
@@ -374,7 +529,13 @@ func (ss *session) handshake() error {
 	e.u32(uint32(h.Variable))
 	e.u32(uint32(h.Blocks))
 	e.u32(uint32(h.Version))
-	return ss.send(msgWelcome, e.b)
+	e.u32(uint32(ss.s.cfg.heartbeat() / time.Millisecond))
+	if err := ss.send(msgWelcome, e.b); err != nil {
+		return err
+	}
+	ss.conn.SetReadDeadline(time.Time{})
+	ss.conn.SetWriteDeadline(time.Time{})
+	return nil
 }
 
 // send writes one frame under the write lock and flushes it.
@@ -418,8 +579,10 @@ func (ss *session) handleRead(payload []byte) bool {
 	ss.inflightMu.Unlock()
 
 	ss.reqWG.Add(1)
+	ss.s.activeReqs.Add(1) // counted before the goroutine starts so Drain can't miss it
 	go func() {
 		defer ss.reqWG.Done()
+		defer ss.s.activeReqs.Add(-1)
 		defer func() {
 			ss.inflightMu.Lock()
 			ss.inflight--

@@ -15,7 +15,8 @@
 //
 //	hello   c→s  magic u32, version u16
 //	welcome s→c  version u16, session u64, res 3×u32, block 3×u32,
-//	             variable u32, blocks u32, storeVersion u32
+//	             variable u32, blocks u32, storeVersion u32,
+//	             heartbeatMillis u32 (0 = liveness disabled)
 //	read    c→s  req u64, deadlineMillis u32, n u32, n×u32 block ids
 //	view    c→s  camera position 3×f64 (no response; drives server prefetch)
 //	blocks  s→c  req u64, firstIdx u32, n u16, then per block:
@@ -23,12 +24,28 @@
 //	done    s→c  req u64 (every requested index has been answered)
 //	shed    s→c  req u64 (request refused by admission control; retryable)
 //	error   s→c  message string (fatal protocol error; connection closes)
+//	ping    ↔    token u64 (liveness probe; either side may send)
+//	pong    ↔    token u64 (echo of a received ping's token)
+//	goaway  s→c  drainMillis u32 (server is draining: finish what is on the
+//	             wire, then take new work elsewhere)
 //
 // Responses stream: the server answers a read with a sequence of blocks
 // frames — one per merged run of consecutive results — and a final done.
 // Block payloads are raw little-endian float32 voxels guarded by a CRC32C
 // so in-transit corruption is detected at the client and classified as a
 // retryable checksum fault.
+//
+// # Liveness and lifecycle
+//
+// Protocol v3 adds heartbeats and graceful drain. The welcome advertises
+// the server's heartbeat interval; from then on each side sends a ping at
+// that cadence whenever its end is otherwise quiet and arms a read
+// deadline of twice the interval, so a dead or wedged peer — one that
+// stops producing any frames, not just pongs — is detected within
+// 2×interval and its session torn down instead of leaking. GOAWAY is the
+// server's drain announcement: requests already on the wire are served,
+// after which the connection will close; a failover-aware client shifts
+// new work to a replica.
 //
 // # Fault classes over the wire
 //
@@ -54,9 +71,11 @@ import (
 
 // Protocol identity. The version is negotiated at hello/welcome: a server
 // refuses a client whose version it does not speak, with msgError.
+// Version 3 added liveness (ping/pong + welcome heartbeat field) and
+// drain (goaway); there was no released version 2.
 const (
 	protoMagic   uint32 = 0x62737663 // "bsvc"
-	ProtoVersion uint16 = 1
+	ProtoVersion uint16 = 3
 )
 
 // Message types.
@@ -69,6 +88,9 @@ const (
 	msgDone    byte = 6
 	msgShed    byte = 7
 	msgError   byte = 8
+	msgPing    byte = 9
+	msgPong    byte = 10
+	msgGoaway  byte = 11
 )
 
 // maxFrameBytes bounds any single frame so a corrupt length prefix cannot
