@@ -5,10 +5,10 @@
 # committed baseline.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./cmd/vizserver/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./internal/tier/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
-BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/...
+BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/... ./internal/tier/...
 
 # Packages with fuzz targets; fuzz-smoke replays their seed corpora.
 FUZZ_PKGS := ./internal/blocksvc/...
@@ -17,9 +17,9 @@ FUZZ_PKGS := ./internal/blocksvc/...
 # and the two-replica network-chaos end-to-end run.
 CHAOS_TESTS := 'TestChaos|TestBreaker|TestFailover|TestDrain|TestHandshakeWriteDeadline|TestServerDetectsDeadPeer|TestClientDetectsDeadServer|TestKeepalive|TestChecksumFaultsDontFailover|TestCloseConcurrentWithReads'
 
-.PHONY: check vet build test race chaos chaos-smoke fuzz-smoke bench bench-all bench-smoke bench-check
+.PHONY: check vet build test race chaos chaos-smoke spill-smoke fuzz-smoke bench bench-all bench-smoke bench-check
 
-check: vet build test race chaos-smoke fuzz-smoke bench-smoke bench-check
+check: vet build test race chaos-smoke spill-smoke fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,13 @@ chaos-smoke:
 	$(GO) test -race -count=1 -run=$(CHAOS_TESTS) ./internal/blocksvc/
 	$(GO) test -race -count=1 ./internal/netchaos/
 
+# spill-smoke runs the persistent-tier crash-recovery and disk-fault
+# degradation end-to-ends (plus the cross-stack policy parity pin) under
+# the race detector: kill-mid-spill recovery, quarantine, breaker trip and
+# heal must all survive every commit.
+spill-smoke:
+	$(GO) test -race -count=1 -run='EndToEnd|TestPolicyParity|TestRescan|TestBreaker' ./internal/tier/
+
 # bench records the tracked hot-path numbers to results/BENCH_ooc.json (and
 # echoes the raw output). Commit the JSON when the numbers move.
 bench:
@@ -67,6 +74,7 @@ bench-smoke:
 bench-check:
 	$(GO) test -bench='^BenchmarkFrame$$' -benchmem -run='^$$' ./internal/ooc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 	$(GO) test -bench='^BenchmarkRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+	$(GO) test -bench='^BenchmarkTieredFrame$$' -benchmem -run='^$$' ./internal/tier/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 
 # fuzz-smoke replays each fuzz target's seed corpus as ordinary tests, so a
 # decoder change that panics on a known-interesting input fails the gate.

@@ -17,8 +17,12 @@
 // prefetch stats. With -remote addr the blocks come from a running vizserver
 // instead of local disk: the runtime reads through a pooled blocksvc client,
 // sends its camera positions so the server prefetches ahead of the session,
-// and reports wire-level fault/shed counters. -metrics 2s prints live
-// registry snapshots while frames run and ends with the frame-phase
+// and reports wire-level fault/shed counters. -cache-dir adds a persistent
+// SSD spill tier under the in-memory cache (sized by -cache-size): DRAM
+// evictions are written behind to checksummed spill files that survive
+// restarts, so a reconnecting session re-serves warm blocks from local
+// flash instead of the wire. -metrics 2s prints live registry snapshots
+// while frames run and ends with the frame-phase
 // (visibility/demand-wait/render/prefetch-issue) latency breakdown.
 package main
 
@@ -40,9 +44,11 @@ import (
 	"repro/internal/grid"
 	"repro/internal/obs"
 	"repro/internal/ooc"
+	"repro/internal/policy"
 	"repro/internal/radius"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/tier"
 	"repro/internal/vec"
 	"repro/internal/visibility"
 	"repro/internal/volume"
@@ -68,6 +74,8 @@ func main() {
 
 		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
 		remote      = flag.String("remote", "", "realio: read blocks from vizservers at these comma-separated addresses (replicas; the client fails over between them) instead of local disk")
+		cacheDir    = flag.String("cache-dir", "", "realio: persistent spill-tier directory under the in-memory cache (survives restarts; empty = no spill tier)")
+		cacheSize   = flag.Int64("cache-size", 256<<20, "realio: spill-tier capacity in bytes")
 		metrics     = flag.Duration("metrics", 0, "realio: print a live metrics snapshot at this interval, plus a final frame-phase breakdown (0 = off)")
 		cacheFrac   = flag.Float64("cache-frac", 0.25, "realio: in-memory cache size as a fraction of the dataset")
 		failRate    = flag.Float64("fail-rate", 0, "realio: injected transient read-failure probability")
@@ -138,7 +146,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *realio {
-		err := runRealIO(ds, g, p, vec.Radians(*angle), *remote, *cacheFrac, faultio.InjectorConfig{
+		err := runRealIO(ds, g, p, vec.Radians(*angle), *remote, *cacheDir, *cacheSize, *cacheFrac, faultio.InjectorConfig{
 			Seed:          *faultSeed,
 			FailRate:      *failRate,
 			PermanentFrac: *permFrac,
@@ -203,8 +211,8 @@ func main() {
 // reporter prints live registry snapshots while frames run, and the run ends
 // with the frame-phase latency breakdown.
 func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
-	remote string, cacheFrac float64, inject faultio.InjectorConfig,
-	readDeadline, metricsEvery time.Duration) error {
+	remote, cacheDir string, cacheSize int64, cacheFrac float64,
+	inject faultio.InjectorConfig, readDeadline, metricsEvery time.Duration) error {
 	reg := obs.NewRegistry()
 	var (
 		reader store.BlockReader
@@ -255,19 +263,46 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 	}
 
 	inj := faultio.NewInjector(reader, inject)
+	imp := entropy.Build(ds, g, entropy.Options{})
+	sigma := imp.ThresholdForQuantile(0.75)
+	// With a cache dir, a persistent spill tier sits between the DRAM cache
+	// and the (possibly remote) store: DRAM misses check local flash before
+	// paying the fetch, and DRAM evictions are written behind into it. The
+	// tier evicts by the paper's importance split — high-entropy blocks
+	// outlive low-entropy ones on flash, mirroring the simulator policy.
+	var spill *tier.Tier
+	missReader := store.BlockReader(inj)
+	if cacheDir != "" {
+		spill, err = tier.Open(tier.Config{
+			Dir:      cacheDir,
+			Capacity: cacheSize,
+			Policy:   policy.NewImportanceLRU(imp.Score, sigma),
+		})
+		if err != nil {
+			return err
+		}
+		defer spill.Close()
+		spill.Instrument(reg)
+		missReader = tier.NewReader(inj, spill)
+		c := spill.Counters()
+		fmt.Printf("spill tier         %s (%d bytes budget; recovered %d blocks, quarantined %d, reclaimed %d temps)\n",
+			cacheDir, cacheSize, c.Blocks, c.Quarantined, c.TmpReclaimed)
+	}
 	capacity := int64(float64(ds.TotalBytes()) * cacheFrac)
 	if capacity <= 0 {
 		capacity = 1
 	}
-	mc, err := store.NewMemCache(inj, capacity, cache.NewLRU())
+	mc, err := store.NewMemCache(missReader, capacity, cache.NewLRU())
 	if err != nil {
 		return err
+	}
+	if spill != nil {
+		mc.OnEvict(func(id grid.BlockID, vals []float32) { spill.Put(id, vals) })
 	}
 	// The simulation drops frame data as soon as counters are tallied, so
 	// evicted decode buffers can be recycled safely.
 	mc.EnableRecycling()
 	mc.Instrument(reg)
-	imp := entropy.Build(ds, g, entropy.Options{})
 	nAz, nEl, nDist := visibility.LatticeForTotal(25920, 10)
 	vis, err := visibility.NewTable(g, visibility.Options{
 		NAzimuth: nAz, NElevation: nEl, NDistance: nDist,
@@ -280,7 +315,7 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		return err
 	}
 	rt, err := ooc.New(mc, vis, imp, ooc.Options{
-		Sigma:           imp.ThresholdForQuantile(0.75),
+		Sigma:           sigma,
 		PrefetchWorkers: 4,
 		ReadDeadline:    readDeadline,
 		Metrics:         reg,
@@ -367,6 +402,18 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		fmt.Printf("remote failover    %d batches re-routed; breaker %d opens / %d probes / %d closes\n",
 			rs.Failovers, rs.BreakerOpens, rs.BreakerProbes, rs.BreakerCloses)
 	}
+	if spill != nil {
+		// Let the write-behind queue land before reporting, so the final
+		// counters (and the directory the next session warms from) reflect
+		// every spill this run produced.
+		spill.Drain()
+		tc := spill.Counters()
+		fmt.Printf("spill tier         %d writes, %d hits / %d misses, %d evictions, %d blocks (%d MiB) resident\n",
+			tc.SpillWrites, tc.SpillHits, tc.SpillMisses, tc.Evictions, tc.Blocks, tc.OccupancyBytes>>20)
+		fmt.Printf("spill faults       %d disk faults, %d quarantined, %d dropped; breaker %s (%d opens / %d recoveries, %d reads + %d writes bypassed)\n",
+			tc.DiskFaults, tc.Quarantined, tc.Dropped, spill.BreakerState(),
+			tc.BreakerOpens, tc.BreakerRecov, tc.ReadBypassed, tc.WriteBypassed)
+	}
 	fmt.Printf("prefetch           %d issued, %d deduped, %d executed, %d failed, %d dropped\n",
 		st.PrefetchIssued, st.PrefetchDeduped, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
 	fmt.Printf("retries            %d extra read attempts absorbed\n", st.Retries)
@@ -391,6 +438,29 @@ func reportMetrics(reg *obs.Registry) {
 		s.Counters["cache.hits"], s.Counters["cache.misses"],
 		s.Counters["cache.coalesced"], s.Counters["ooc.degraded_frames"],
 		time.Duration(dw.P50), time.Duration(dw.P95))
+	if _, ok := s.Gauges["tier.breaker_state"]; ok {
+		fmt.Printf("tier               spills=%d hits=%d faults=%d quarantined=%d occupancy=%dMiB breaker=%s\n",
+			s.Counters["tier.spill_writes"], s.Counters["tier.spill_hits"],
+			s.Counters["tier.disk_faults"], s.Counters["tier.quarantined"],
+			s.Gauges["tier.occupancy_bytes"]>>20,
+			breakerState(s.Gauges["tier.breaker_state"]).String())
+	}
+}
+
+// breakerState mirrors the tier's gauge encoding for display.
+type breakerState int64
+
+func (s breakerState) String() string {
+	switch s {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return "unknown"
+	}
 }
 
 // reportPhases prints the frame-phase latency breakdown the registry

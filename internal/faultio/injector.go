@@ -43,12 +43,12 @@ type InjectorConfig struct {
 
 // InjectorStats counts injected activity.
 type InjectorStats struct {
-	Reads          int64 // reads that reached the injector
-	Transient      int64 // injected transient failures
-	Permanent      int64 // injected permanent failures (incl. FailBlocks)
-	Corrupted      int64 // payloads bit-flipped
-	CorruptCaught  int64 // corruptions detected via stored checksums
-	CorruptSilent  int64 // corruptions passed through undetected (v1 files)
+	Reads         int64 // reads that reached the injector
+	Transient     int64 // injected transient failures
+	Permanent     int64 // injected permanent failures (incl. FailBlocks)
+	Corrupted     int64 // payloads bit-flipped
+	CorruptCaught int64 // corruptions detected via stored checksums
+	CorruptSilent int64 // corruptions passed through undetected (v1 files)
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

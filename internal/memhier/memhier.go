@@ -95,6 +95,14 @@ type Hierarchy struct {
 	sizeOf  func(grid.BlockID) int64
 	clock   *storage.Clock
 
+	// onEvict, when non-nil, observes every eviction (level, id). It lets
+	// callers mirror the simulator's replacement decisions — the policy
+	// parity test replays one trace through a simulated level and a
+	// production tier and compares the streams — and models write-behind
+	// spill (a DRAM eviction feeding the SSD level) without touching the
+	// levels' accounting.
+	onEvict func(level int, id grid.BlockID)
+
 	// PrefetchTime accumulates the cost of Prefetch calls, kept separate
 	// from demand I/O because the paper overlaps it with rendering.
 	PrefetchTime time.Duration
@@ -159,6 +167,13 @@ func (h *Hierarchy) NumLevels() int { return len(h.levels) }
 func (h *Hierarchy) SetEvictFilter(level int, allowed func(grid.BlockID) bool) {
 	h.levels[level].evictFilter = allowed
 	h.levels[level].strictFilter = false
+}
+
+// SetEvictObserver registers fn to be called for every eviction with the
+// level it happened at and the departing block (nil clears it). Evictions
+// remain free in simulated time; the observer only watches.
+func (h *Hierarchy) SetEvictObserver(fn func(level int, id grid.BlockID)) {
+	h.onEvict = fn
 }
 
 // SetStrictEvictFilter is SetEvictFilter without the fallback: installs that
@@ -277,6 +292,9 @@ func (h *Hierarchy) evict(level int, id grid.BlockID) {
 	l.used -= size
 	l.Policy.Remove(id)
 	l.Evictions++
+	if h.onEvict != nil {
+		h.onEvict(level, id)
+	}
 }
 
 // Preload installs a block at the given level and every level below it

@@ -43,6 +43,7 @@ type MemCache struct {
 	inflight map[grid.BlockID]*call
 	used     int64
 	recycle  bool
+	onEvict  func(id grid.BlockID, vals []float32)
 
 	hits, misses  int64
 	coalesced     int64 // requests served by waiting on another's read
@@ -99,6 +100,19 @@ func NewMemCache(r BlockReader, capacity int64, p cache.Policy) (*MemCache, erro
 func (c *MemCache) EnableRecycling() {
 	c.mu.Lock()
 	c.recycle = c.recycler != nil
+	c.mu.Unlock()
+}
+
+// OnEvict registers a callback invoked for every block the replacement
+// policy pushes out, carrying the block's still-valid decoded voxels —
+// the write-behind feed a spill tier needs to persist evictions without
+// re-reading them. The callback runs before any buffer recycling, so vals
+// is intact for its duration, but it executes under the cache lock: it must
+// return quickly (copy or enqueue, no I/O) and must not call back into the
+// cache. A nil fn disables the feed.
+func (c *MemCache) OnEvict(fn func(id grid.BlockID, vals []float32)) {
+	c.mu.Lock()
+	c.onEvict = fn
 	c.mu.Unlock()
 }
 
@@ -372,6 +386,9 @@ func (c *MemCache) evict(id grid.BlockID) {
 	c.used -= int64(len(vals)) * 4
 	c.policy.Remove(id)
 	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(id, vals)
+	}
 	if c.recycle {
 		c.recycled++
 		c.recycledBytes += int64(len(vals)) * 4

@@ -889,3 +889,65 @@ func TestReadBlocksCanceledContext(t *testing.T) {
 		t.Errorf("%d physical reads issued under a canceled context", st.MergedRuns)
 	}
 }
+
+// TestMemCacheEvictionCallback pins the write-behind feed: the OnEvict
+// callback must fire for every policy eviction, in eviction order, with the
+// block's decoded voxels still intact — even with recycling enabled, where
+// the buffer is handed back for reuse immediately after the callback
+// returns.
+func TestMemCacheEvictionCallback(t *testing.T) {
+	path, ds, g := writeTestFile(t)
+	bf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf.Close()
+	c, err := NewMemCache(bf, 2*bf.BlockBytes(0), cache.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableRecycling()
+	var evicted []grid.BlockID
+	c.OnEvict(func(id grid.BlockID, vals []float32) {
+		// vals must hold the block's true data at callback time.
+		want := ds.BlockSamples(g, id, 0, 0)
+		if len(vals) != len(want) {
+			t.Errorf("evicted block %d: %d vals, want %d", id, len(vals), len(want))
+			return
+		}
+		for j := range want {
+			if vals[j] != want[j] {
+				t.Errorf("evicted block %d differs at %d", id, j)
+				return
+			}
+		}
+		evicted = append(evicted, id)
+	})
+	ctx := context.Background()
+	for id := grid.BlockID(0); id < 5; id++ {
+		if _, _, err := c.Get(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2, LRU: reads 0..4 evict 0, 1, 2 in order.
+	want := []grid.BlockID{0, 1, 2}
+	if len(evicted) != len(want) {
+		t.Fatalf("evictions = %v, want %v", evicted, want)
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("evictions = %v, want %v", evicted, want)
+		}
+	}
+	if n := c.Counters().Recycled; n == 0 {
+		t.Error("callback must not suppress recycling")
+	}
+	// nil unregisters: further evictions are silent.
+	c.OnEvict(nil)
+	if _, _, err := c.Get(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != len(want) {
+		t.Fatalf("callback fired after unregistering: %v", evicted)
+	}
+}

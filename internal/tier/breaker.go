@@ -1,0 +1,122 @@
+package tier
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker tristate, mirroring the
+// blocksvc endpoint breaker so the two degradation paths (bad network, bad
+// disk) behave identically for operators.
+type breakerState int32
+
+const (
+	brClosed   breakerState = 0 // healthy: spill reads and writes flow
+	brOpen     breakerState = 1 // failing: the SSD tier is bypassed until backoff elapses
+	brHalfOpen breakerState = 2 // probing: one disk operation is in flight to test recovery
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brClosed:
+		return "closed"
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker guards the spill directory's device. It opens after threshold
+// consecutive disk faults, then lets exactly one operation through per
+// backoff window (half-open); a success closes it, a failed probe reopens
+// it with doubled backoff up to maxBackoff. Unlike the blocksvc breaker —
+// where a checksum fault proves the endpoint works and closes the circuit —
+// read corruption here counts as a failure: a device returning rotten bytes
+// on block after block is exactly the device to stop trusting. (A single
+// corrupt file cannot trip the breaker by itself: it is quarantined on
+// first read and never retried.)
+type breaker struct {
+	threshold  int
+	base       time.Duration
+	maxBackoff time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int           // consecutive failures while closed
+	backoff  time.Duration // current open-window length
+	reopenAt time.Time     // when the next probe is allowed
+}
+
+func newBreaker(threshold int, base, maxBackoff time.Duration) *breaker {
+	return &breaker{threshold: threshold, base: base, maxBackoff: maxBackoff}
+}
+
+// allow reports whether a disk operation may proceed now. In the open state
+// it admits exactly one caller per backoff window — flipping to half-open,
+// so that caller's operation is the recovery probe (probe=true).
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true, false
+	case brOpen:
+		if now.Before(b.reopenAt) {
+			return false, false
+		}
+		b.state = brHalfOpen
+		return true, true
+	default: // half-open: a probe is already out; don't pile on
+		return false, false
+	}
+}
+
+// success records a healthy disk operation; reports whether it closed a
+// previously open/half-open breaker (a recovery, for counters).
+func (b *breaker) success() (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered = b.state != brClosed
+	b.state = brClosed
+	b.consec = 0
+	b.backoff = 0
+	return recovered
+}
+
+// failure records a disk fault; reports whether it opened the breaker
+// (threshold reached, or a failed probe reopening it).
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		b.consec++
+		if b.consec < b.threshold {
+			return false
+		}
+	case brOpen:
+		// Stragglers racing an already-open breaker don't extend the window.
+		return false
+	case brHalfOpen:
+		// The probe failed: reopen and back off harder.
+	}
+	b.state = brOpen
+	b.consec = 0
+	if b.backoff == 0 {
+		b.backoff = b.base
+	} else if b.backoff < b.maxBackoff {
+		b.backoff = min(2*b.backoff, b.maxBackoff)
+	}
+	b.reopenAt = now.Add(b.backoff)
+	return true
+}
+
+// current returns the state for gauges.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

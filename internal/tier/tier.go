@@ -1,0 +1,607 @@
+// Package tier provides the persistent SSD spill tier that sits under
+// store.MemCache in the remote-rendering path: DRAM miss → SSD spill lookup
+// → remote fetch. Blocks enter the tier by write-behind — MemCache's
+// eviction callback hands each victim's decoded voxels to Put, which
+// encodes them under the caller's lock (a fast copy) and spills them from
+// an asynchronous worker, so a block fetched over the network once is
+// re-served from local flash for the rest of the session.
+//
+// The tier is crash-safe and disk-fault tolerant by construction:
+//
+//   - Every spill file carries a CRC-32C over its payload and is published
+//     by temp-file + fsync + rename, so a crash at any instant leaves only
+//     complete entries, detectably torn entries, and stray temp files.
+//   - Open rescans the cache directory, rebuilds the index from intact
+//     files, quarantines torn/corrupt ones, and reclaims temp debris.
+//   - Runtime disk faults (failed writes, syncs, renames, ENOSPC, read
+//     corruption) degrade service instead of failing it: the faulty
+//     operation is dropped, counted, and after threshold consecutive
+//     faults a circuit breaker trips and the tier gets out of the way —
+//     the client keeps rendering from DRAM + remote with zero errors.
+//
+// Replacement is policy-driven through the same interface as every other
+// tier (policy.Replacement = cache.Policy): the simulator's memhier levels,
+// the DRAM MemCache, and this SSD tier all evict through one contract, so
+// the paper's application-aware policy and the LRU baseline run unchanged
+// in either stack. The parity test in this package pins that equivalence.
+package tier
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerBase      = 100 * time.Millisecond
+	DefaultBreakerMax       = 5 * time.Second
+	DefaultQueueDepth       = 64
+)
+
+// quarantineDir is the subdirectory (under Config.Dir) that torn and
+// corrupt spill files are moved into for post-mortem inspection.
+const quarantineDir = "quarantine"
+
+// Config configures a Tier. Dir and Capacity are required.
+type Config struct {
+	// Dir is the spill directory, created if absent. It must be dedicated
+	// to one Tier; foreign files are ignored but temp debris is reclaimed.
+	Dir string
+	// Capacity is the byte budget for spill files (headers included).
+	Capacity int64
+	// Policy is the replacement policy; nil defaults to LRU. The policy
+	// must be empty and is owned by the tier afterwards.
+	Policy cache.Policy
+	// FS is the filesystem the tier operates through; nil defaults to the
+	// real one (faultio.OSFS). Tests substitute a faultio.FaultFS.
+	FS faultio.FS
+	// BreakerThreshold is the number of consecutive disk faults that trips
+	// the breaker; 0 defaults to DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerBase and BreakerMax bound the breaker's backoff window; zero
+	// values take the defaults.
+	BreakerBase time.Duration
+	BreakerMax  time.Duration
+	// QueueDepth is the spill queue length; 0 defaults to
+	// DefaultQueueDepth. Puts arriving on a full queue are dropped (and
+	// counted) rather than blocking the DRAM cache's eviction path.
+	QueueDepth int
+	// Synchronous makes Put spill inline instead of through the worker.
+	// For tests (deterministic fault injection, policy parity) only: in
+	// production Put runs under the DRAM cache's lock and must not do I/O.
+	Synchronous bool
+	// OnEvict, when non-nil, observes every block the tier's own policy
+	// pushes out — the same feed MemCache.OnEvict and
+	// memhier.SetEvictObserver expose, used by the parity test.
+	OnEvict func(id grid.BlockID)
+}
+
+// spillReq is one encoded block queued for the spill worker; a request
+// with done set is a Drain barrier instead.
+type spillReq struct {
+	id   grid.BlockID
+	data []byte
+	done chan struct{}
+}
+
+// Tier is the persistent spill tier. Safe for concurrent use.
+type Tier struct {
+	dir  string
+	cap  int64
+	fsys faultio.FS
+	br   *breaker
+	sync bool
+
+	onEvict func(id grid.BlockID)
+
+	mu     sync.Mutex
+	pol    cache.Policy
+	index  map[grid.BlockID]int64 // resident block -> spill file size
+	used   int64
+	closed bool
+	queue  chan spillReq
+
+	wg sync.WaitGroup
+
+	spillWrites   atomic.Int64
+	spillHits     atomic.Int64
+	spillMisses   atomic.Int64
+	readBypassed  atomic.Int64
+	writeBypassed atomic.Int64
+	diskFaults    atomic.Int64
+	quarantined   atomic.Int64
+	tmpReclaimed  atomic.Int64
+	evictions     atomic.Int64
+	dropped       atomic.Int64
+	brOpens       atomic.Int64
+	brRecoveries  atomic.Int64
+}
+
+// Counters is a snapshot of tier activity.
+type Counters struct {
+	SpillWrites    int64 // blocks durably spilled to disk
+	SpillHits      int64 // Gets served from the spill tier
+	SpillMisses    int64 // Gets that fell through (absent, bypassed, or faulted)
+	ReadBypassed   int64 // Gets skipped because the breaker was open
+	WriteBypassed  int64 // spills skipped because the breaker was open
+	DiskFaults     int64 // file operations that failed or returned bad bytes
+	Quarantined    int64 // torn/corrupt spill files moved aside
+	TmpReclaimed   int64 // stray temp files removed by rescan
+	Evictions      int64 // blocks pushed out by the replacement policy
+	Dropped        int64 // spill requests dropped (queue full or oversized)
+	BreakerOpens   int64 // times the disk breaker tripped
+	BreakerRecov   int64 // times a probe closed it again
+	Blocks         int64 // resident spill entries
+	OccupancyBytes int64 // bytes of resident spill files
+}
+
+// Open creates (or reopens) the spill tier rooted at cfg.Dir. Reopening
+// rescans the directory: intact entries are indexed, torn or corrupt ones
+// quarantined, temp debris reclaimed. Only directory-level failures (the
+// dir cannot be created or listed) are errors; per-file damage is absorbed.
+func Open(cfg Config) (*Tier, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("tier: empty cache dir")
+	}
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("tier: capacity must be positive")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = cache.NewLRU()
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultio.OSFS{}
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerBase <= 0 {
+		cfg.BreakerBase = DefaultBreakerBase
+	}
+	if cfg.BreakerMax <= 0 {
+		cfg.BreakerMax = DefaultBreakerMax
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &Tier{
+		dir:     cfg.Dir,
+		cap:     cfg.Capacity,
+		fsys:    cfg.FS,
+		br:      newBreaker(cfg.BreakerThreshold, cfg.BreakerBase, cfg.BreakerMax),
+		sync:    cfg.Synchronous,
+		onEvict: cfg.OnEvict,
+		pol:     cfg.Policy,
+		index:   make(map[grid.BlockID]int64),
+		queue:   make(chan spillReq, cfg.QueueDepth),
+	}
+	if err := t.rescan(); err != nil {
+		return nil, err
+	}
+	if !t.sync {
+		t.wg.Add(1)
+		go t.worker()
+	}
+	return t, nil
+}
+
+// rescan rebuilds the index from the spill directory after a restart.
+func (t *Tier) rescan() error {
+	ents, err := t.fsys.ReadDir(t.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue // the quarantine subdir
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between staging and rename: never published, safe to
+			// reclaim.
+			if t.fsys.Remove(filepath.Join(t.dir, name)) == nil {
+				t.tmpReclaimed.Add(1)
+			}
+			continue
+		}
+		id, ok := parseSpillName(name)
+		if !ok {
+			continue // foreign file: not ours to touch
+		}
+		raw, err := t.readFile(name)
+		if err == nil {
+			_, err = decodeSpill(id, raw)
+		}
+		if err != nil {
+			// Torn mid-crash or rotten on disk — either way not servable.
+			t.quarantine(name)
+			continue
+		}
+		t.index[id] = int64(len(raw))
+		t.used += int64(len(raw))
+		t.pol.Insert(id)
+	}
+	// A reopen with a smaller budget must shed the excess immediately.
+	t.mu.Lock()
+	victims := t.makeRoomLocked(0)
+	t.mu.Unlock()
+	t.dropVictims(victims)
+	return nil
+}
+
+// readFile reads one spill file fully through the tier's FS.
+func (t *Tier) readFile(name string) ([]byte, error) {
+	f, err := t.fsys.Open(filepath.Join(t.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// readFileN reads a spill file whose size the index already knows, in one
+// allocation and (in the common case) one read syscall — the hot Get path.
+// A file shorter than expected comes back truncated, which the decode
+// length check rejects; a longer file serves its prefix, which is safe
+// because the prefix must still pass the checksum to be served.
+func (t *Tier) readFileN(name string, size int64) ([]byte, error) {
+	f, err := t.fsys.Open(filepath.Join(t.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	n, err := io.ReadFull(f, buf)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return buf[:n], nil // short file: let decode report the tear
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// quarantine moves a damaged spill file into the quarantine subdirectory
+// (falling back to deletion if the move itself fails) and counts it.
+func (t *Tier) quarantine(name string) {
+	t.quarantined.Add(1)
+	src := filepath.Join(t.dir, name)
+	qdir := filepath.Join(t.dir, quarantineDir)
+	if err := t.fsys.MkdirAll(qdir, 0o755); err == nil {
+		if t.fsys.Rename(src, filepath.Join(qdir, name)) == nil {
+			return
+		}
+	}
+	t.fsys.Remove(src)
+}
+
+// Get serves a block from the spill tier. ok is false when the block is
+// not resident, the breaker has the tier bypassed, or the file turned out
+// unreadable — the caller falls through to the next tier; Get never errors.
+func (t *Tier) Get(id grid.BlockID) (vals []float32, ok bool) {
+	t.mu.Lock()
+	size, resident := t.index[id]
+	t.mu.Unlock()
+	if !resident {
+		t.spillMisses.Add(1)
+		return nil, false
+	}
+	allowed, _ := t.br.allow(time.Now())
+	if !allowed {
+		t.readBypassed.Add(1)
+		t.spillMisses.Add(1)
+		return nil, false
+	}
+	name := spillName(id)
+	raw, err := t.readFileN(name, size)
+	if err == nil {
+		vals, err = decodeSpill(id, raw)
+	}
+	if err != nil {
+		t.mu.Lock()
+		sz, still := t.index[id]
+		if still {
+			delete(t.index, id)
+			t.used -= sz
+			t.pol.Remove(id)
+		}
+		t.mu.Unlock()
+		t.spillMisses.Add(1)
+		if !still && errors.Is(err, fs.ErrNotExist) {
+			// Benign race: the entry was evicted between the index check and
+			// the read. The device itself answered fine.
+			if t.br.success() {
+				t.brRecoveries.Add(1)
+			}
+			return nil, false
+		}
+		t.diskFaults.Add(1)
+		if t.br.failure(time.Now()) {
+			t.brOpens.Add(1)
+		}
+		if still {
+			t.quarantine(name)
+		}
+		return nil, false
+	}
+	if t.br.success() {
+		t.brRecoveries.Add(1)
+	}
+	t.mu.Lock()
+	if _, still := t.index[id]; still {
+		t.pol.Touch(id)
+	}
+	t.mu.Unlock()
+	t.spillHits.Add(1)
+	return vals, true
+}
+
+// Put offers a block for spilling. It is designed to run inside
+// MemCache.OnEvict — under the DRAM cache's lock — so it only encodes
+// (one copy) and enqueues; the disk work, including the breaker gate,
+// happens on the spill worker. Blocks already resident, arriving on a full
+// queue, or dequeued while the breaker is open are skipped, never blocked
+// on.
+func (t *Tier) Put(id grid.BlockID, vals []float32) {
+	if len(vals) == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if _, ok := t.index[id]; ok {
+		t.mu.Unlock()
+		return // already spilled; the on-disk copy is still valid
+	}
+	t.mu.Unlock()
+	req := spillReq{id: id, data: encodeSpill(id, vals)}
+	if t.sync {
+		t.spill(req)
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.queue <- req:
+	default:
+		t.dropped.Add(1)
+	}
+}
+
+// worker drains the spill queue until Close.
+func (t *Tier) worker() {
+	defer t.wg.Done()
+	for req := range t.queue {
+		if req.done != nil {
+			close(req.done)
+			continue
+		}
+		t.spill(req)
+	}
+}
+
+// spill writes one queued block to disk with the crash-safe discipline:
+// temp file, full write, fsync, atomic rename. Any fault feeds the breaker
+// and drops the block — spilling is best-effort by design.
+func (t *Tier) spill(req spillReq) {
+	allowed, _ := t.br.allow(time.Now())
+	if !allowed {
+		t.writeBypassed.Add(1)
+		return
+	}
+	size := int64(len(req.data))
+	t.mu.Lock()
+	if _, ok := t.index[req.id]; ok || size > t.cap {
+		t.mu.Unlock()
+		if size > t.cap {
+			t.dropped.Add(1)
+		}
+		return
+	}
+	victims := t.makeRoomLocked(size)
+	t.mu.Unlock()
+	t.dropVictims(victims)
+
+	if err := t.writeSpill(req); err != nil {
+		t.diskFaults.Add(1)
+		if t.br.failure(time.Now()) {
+			t.brOpens.Add(1)
+		}
+		return
+	}
+	if t.br.success() {
+		t.brRecoveries.Add(1)
+	}
+	t.mu.Lock()
+	t.index[req.id] = size
+	t.used += size
+	t.pol.Insert(req.id)
+	t.mu.Unlock()
+	t.spillWrites.Add(1)
+}
+
+// writeSpill stages, syncs, and publishes one spill file.
+func (t *Tier) writeSpill(req spillReq) error {
+	f, err := t.fsys.CreateTemp(t.dir, tempPattern)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(req.data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = t.fsys.Rename(tmp, filepath.Join(t.dir, spillName(req.id)))
+	}
+	if err != nil {
+		t.fsys.Remove(tmp) // best effort; rescan reclaims survivors
+		return err
+	}
+	return nil
+}
+
+// makeRoomLocked evicts (index-side only) until size fits, returning the
+// victims whose files the caller must remove outside the lock. Caller
+// holds t.mu.
+func (t *Tier) makeRoomLocked(size int64) []grid.BlockID {
+	var victims []grid.BlockID
+	for t.used+size > t.cap {
+		id, ok := t.pol.Victim()
+		if !ok {
+			break
+		}
+		t.pol.Remove(id)
+		t.used -= t.index[id]
+		delete(t.index, id)
+		victims = append(victims, id)
+	}
+	return victims
+}
+
+// dropVictims removes evicted blocks' files and notifies the observer.
+func (t *Tier) dropVictims(victims []grid.BlockID) {
+	for _, id := range victims {
+		t.fsys.Remove(filepath.Join(t.dir, spillName(id)))
+		t.evictions.Add(1)
+		if t.onEvict != nil {
+			t.onEvict(id)
+		}
+	}
+}
+
+// Contains reports whether a block is resident (indexed) in the tier.
+func (t *Tier) Contains(id grid.BlockID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.index[id]
+	return ok
+}
+
+// Len returns the number of resident spill entries.
+func (t *Tier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.index)
+}
+
+// Used returns the bytes of resident spill files.
+func (t *Tier) Used() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// BreakerState returns the disk breaker's state name for diagnostics.
+func (t *Tier) BreakerState() string { return t.br.current().String() }
+
+// Counters returns a snapshot of tier activity.
+func (t *Tier) Counters() Counters {
+	t.mu.Lock()
+	blocks, used := int64(len(t.index)), t.used
+	t.mu.Unlock()
+	return Counters{
+		SpillWrites:    t.spillWrites.Load(),
+		SpillHits:      t.spillHits.Load(),
+		SpillMisses:    t.spillMisses.Load(),
+		ReadBypassed:   t.readBypassed.Load(),
+		WriteBypassed:  t.writeBypassed.Load(),
+		DiskFaults:     t.diskFaults.Load(),
+		Quarantined:    t.quarantined.Load(),
+		TmpReclaimed:   t.tmpReclaimed.Load(),
+		Evictions:      t.evictions.Load(),
+		Dropped:        t.dropped.Load(),
+		BreakerOpens:   t.brOpens.Load(),
+		BreakerRecov:   t.brRecoveries.Load(),
+		Blocks:         blocks,
+		OccupancyBytes: used,
+	}
+}
+
+// Instrument registers the tier's counters and gauges under "tier." names.
+func (t *Tier) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("tier.spill_writes", func() int64 { return t.spillWrites.Load() })
+	reg.CounterFunc("tier.spill_hits", func() int64 { return t.spillHits.Load() })
+	reg.CounterFunc("tier.spill_misses", func() int64 { return t.spillMisses.Load() })
+	reg.CounterFunc("tier.read_bypassed", func() int64 { return t.readBypassed.Load() })
+	reg.CounterFunc("tier.write_bypassed", func() int64 { return t.writeBypassed.Load() })
+	reg.CounterFunc("tier.disk_faults", func() int64 { return t.diskFaults.Load() })
+	reg.CounterFunc("tier.quarantined", func() int64 { return t.quarantined.Load() })
+	reg.CounterFunc("tier.tmp_reclaimed", func() int64 { return t.tmpReclaimed.Load() })
+	reg.CounterFunc("tier.evictions", func() int64 { return t.evictions.Load() })
+	reg.CounterFunc("tier.dropped", func() int64 { return t.dropped.Load() })
+	reg.CounterFunc("tier.breaker_opens", func() int64 { return t.brOpens.Load() })
+	reg.CounterFunc("tier.breaker_recoveries", func() int64 { return t.brRecoveries.Load() })
+	reg.GaugeFunc("tier.blocks", func() int64 { return int64(t.Len()) })
+	reg.GaugeFunc("tier.occupancy_bytes", func() int64 { return t.Used() })
+	reg.GaugeFunc("tier.breaker_state", func() int64 { return int64(t.br.current()) })
+}
+
+// Drain blocks until every spill queued so far has been processed. Tests
+// and benchmarks use it to make write-behind effects observable; frames
+// never wait on it.
+func (t *Tier) Drain() {
+	if t.sync {
+		return
+	}
+	done := make(chan struct{})
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		// The send must be non-blocking while mu is held: the worker takes
+		// mu inside spill, so parking on a full queue here would deadlock.
+		select {
+		case t.queue <- spillReq{done: done}:
+			t.mu.Unlock()
+			<-done
+			return
+		default:
+		}
+		t.mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the spill worker (draining queued spills first) and
+// invalidates further Puts. Resident entries stay on disk for the next
+// Open to rescan.
+func (t *Tier) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	if !t.sync {
+		close(t.queue)
+		t.wg.Wait()
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+package tier
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// block fabricates a distinctive payload for a block id.
+func block(id grid.BlockID, n int) []float32 {
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(id)*1000 + float32(i)
+	}
+	return vals
+}
+
+// openTier opens a tier over dir with room for roughly blocks payloads of
+// n floats each, in synchronous mode unless async is set.
+func openTier(t *testing.T, dir string, blocks, n int, mut func(*Config)) *Tier {
+	t.Helper()
+	cfg := Config{
+		Dir:         dir,
+		Capacity:    int64(blocks) * int64(spillHeaderSize+4*n),
+		Synchronous: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	tr, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 4, 64, nil)
+	want := block(7, 64)
+	tr.Put(7, want)
+	got, ok := tr.Get(7)
+	if !ok {
+		t.Fatal("spilled block not served")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, ok := tr.Get(8); ok {
+		t.Fatal("unspilled block served")
+	}
+	c := tr.Counters()
+	if c.SpillWrites != 1 || c.SpillHits != 1 || c.SpillMisses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.Blocks != 1 || c.OccupancyBytes != int64(spillHeaderSize+4*64) {
+		t.Fatalf("occupancy = %d blocks / %d bytes", c.Blocks, c.OccupancyBytes)
+	}
+}
+
+func TestAsyncSpillAndDrain(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 8, 32, func(c *Config) { c.Synchronous = false })
+	for id := grid.BlockID(0); id < 5; id++ {
+		tr.Put(id, block(id, 32))
+	}
+	tr.Drain()
+	for id := grid.BlockID(0); id < 5; id++ {
+		if _, ok := tr.Get(id); !ok {
+			t.Fatalf("block %d not served after Drain", id)
+		}
+	}
+	testutil.VerifyNoLeaks(t)
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTier(t, dir, 4, 16, nil)
+	tr.Put(3, block(3, 16))
+	tr.Put(9, block(9, 16))
+	tr.Close()
+
+	tr2 := openTier(t, dir, 4, 16, nil)
+	for _, id := range []grid.BlockID{3, 9} {
+		got, ok := tr2.Get(id)
+		if !ok {
+			t.Fatalf("block %d lost across reopen", id)
+		}
+		want := block(id, 16)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d value %d = %v, want %v", id, i, got[i], want[i])
+			}
+		}
+	}
+	if n := tr2.Len(); n != 2 {
+		t.Fatalf("Len after reopen = %d", n)
+	}
+}
+
+// TestRescanQuarantinesDamage is the crash-artifact matrix: a torn
+// (truncated) file, a bit-rotted file, a stray temp, and a foreign file.
+// Rescan must recover the intact entries, quarantine the damaged two,
+// reclaim the temp, and leave the foreign file alone.
+func TestRescanQuarantinesDamage(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTier(t, dir, 8, 32, nil)
+	for id := grid.BlockID(0); id < 4; id++ {
+		tr.Put(id, block(id, 32))
+	}
+	tr.Close()
+
+	// Tear block 1: keep only the first 10 bytes, as a crash mid-write
+	// (or a lying short write) would.
+	torn := filepath.Join(dir, spillName(1))
+	raw, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Rot block 2: flip one payload bit.
+	rotted := filepath.Join(dir, spillName(2))
+	raw, err = os.ReadFile(rotted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[spillHeaderSize+5] ^= 0x10
+	if err := os.WriteFile(rotted, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stray temp from a crash between staging and rename.
+	if err := os.WriteFile(filepath.Join(dir, "spill-123.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign file the tier must not touch.
+	foreign := filepath.Join(dir, "README")
+	if err := os.WriteFile(foreign, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2 := openTier(t, dir, 8, 32, nil)
+	for _, id := range []grid.BlockID{0, 3} {
+		if _, ok := tr2.Get(id); !ok {
+			t.Errorf("intact block %d not recovered", id)
+		}
+	}
+	for _, id := range []grid.BlockID{1, 2} {
+		if _, ok := tr2.Get(id); ok {
+			t.Errorf("damaged block %d served", id)
+		}
+	}
+	c := tr2.Counters()
+	if c.Quarantined != 2 {
+		t.Errorf("quarantined = %d, want 2", c.Quarantined)
+	}
+	if c.TmpReclaimed != 1 {
+		t.Errorf("tmp reclaimed = %d, want 1", c.TmpReclaimed)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("foreign file disturbed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "spill-123.tmp")); !os.IsNotExist(err) {
+		t.Errorf("stray temp survived rescan: %v", err)
+	}
+	// The damaged files moved to quarantine for post-mortem.
+	for _, id := range []grid.BlockID{1, 2} {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, spillName(id))); err != nil {
+			t.Errorf("block %d missing from quarantine: %v", id, err)
+		}
+	}
+}
+
+func TestEvictionRespectsCapacityAndPolicy(t *testing.T) {
+	var evicted []grid.BlockID
+	tr := openTier(t, t.TempDir(), 2, 16, func(c *Config) {
+		c.OnEvict = func(id grid.BlockID) { evicted = append(evicted, id) }
+	})
+	for id := grid.BlockID(0); id < 5; id++ {
+		tr.Put(id, block(id, 16))
+	}
+	// LRU: 0, 1, 2 evicted in order; 3, 4 resident.
+	want := []grid.BlockID{0, 1, 2}
+	if len(evicted) != len(want) {
+		t.Fatalf("evicted %v, want %v", evicted, want)
+	}
+	for i := range want {
+		if evicted[i] != want[i] {
+			t.Fatalf("evicted %v, want %v", evicted, want)
+		}
+	}
+	if tr.Len() != 2 || tr.Used() > tr.cap {
+		t.Fatalf("Len=%d Used=%d cap=%d", tr.Len(), tr.Used(), tr.cap)
+	}
+	for _, id := range want {
+		if _, err := os.Stat(filepath.Join(tr.dir, spillName(id))); !os.IsNotExist(err) {
+			t.Errorf("evicted block %d still on disk: %v", id, err)
+		}
+	}
+	if c := tr.Counters(); c.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", c.Evictions)
+	}
+}
+
+func TestOversizedBlockDropped(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 1, 8, nil)
+	tr.Put(1, block(1, 8))
+	tr.Put(2, block(2, 4096)) // larger than the whole tier
+	if _, ok := tr.Get(2); ok {
+		t.Fatal("oversized block spilled")
+	}
+	if _, ok := tr.Get(1); !ok {
+		t.Fatal("resident block sacrificed for an unspillable one")
+	}
+	if c := tr.Counters(); c.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", c.Dropped)
+	}
+}
+
+// TestBreakerTripsOnWriteFaults drives consecutive injected write failures
+// through a synchronous tier: the breaker must trip at the threshold,
+// subsequent operations must be bypassed (not errors), and a heal plus
+// backoff expiry must let a probe close it again.
+func TestBreakerTripsOnWriteFaults(t *testing.T) {
+	ffs := faultio.NewFaultFS(nil, faultio.FileFaultConfig{Seed: 11, WriteFailRate: 1})
+	tr := openTier(t, t.TempDir(), 8, 16, func(c *Config) {
+		c.FS = ffs
+		c.BreakerThreshold = 3
+		c.BreakerBase = 10 * time.Millisecond
+	})
+	for id := grid.BlockID(0); id < 3; id++ {
+		tr.Put(id, block(id, 16))
+	}
+	if st := tr.BreakerState(); st != "open" {
+		t.Fatalf("breaker = %s after 3 faults, want open", st)
+	}
+	c := tr.Counters()
+	if c.DiskFaults != 3 || c.BreakerOpens != 1 || c.SpillWrites != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	// While open, writes and reads are bypassed without touching the disk.
+	tr.Put(9, block(9, 16))
+	if c := tr.Counters(); c.WriteBypassed == 0 {
+		t.Fatalf("counters = %+v, want write bypassed", c)
+	}
+	// Heal the disk; once the backoff window expires a probe closes it.
+	ffs.SetConfig(faultio.FileFaultConfig{Seed: 11})
+	time.Sleep(15 * time.Millisecond)
+	tr.Put(10, block(10, 16))
+	if st := tr.BreakerState(); st != "closed" {
+		t.Fatalf("breaker = %s after heal+probe, want closed", st)
+	}
+	if _, ok := tr.Get(10); !ok {
+		t.Fatal("post-recovery spill not served")
+	}
+	if c := tr.Counters(); c.BreakerRecov != 1 {
+		t.Fatalf("recoveries = %d, want 1", c.BreakerRecov)
+	}
+}
+
+func TestENOSPCTripsBreaker(t *testing.T) {
+	// Budget of 1 byte: the first spill lands (the budget is checked before
+	// each write), every later one hits the full-disk model.
+	ffs := faultio.NewFaultFS(nil, faultio.FileFaultConfig{Seed: 1, ENOSPCAfterBytes: 1})
+	tr := openTier(t, t.TempDir(), 8, 16, func(c *Config) {
+		c.FS = ffs
+		c.BreakerThreshold = 2
+	})
+	tr.Put(1, block(1, 16))
+	tr.Put(2, block(2, 16))
+	tr.Put(3, block(3, 16))
+	if st := tr.BreakerState(); st != "open" {
+		t.Fatalf("breaker = %s on full disk, want open", st)
+	}
+	if c := tr.Counters(); c.DiskFaults != 2 || c.SpillWrites != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestRuntimeCorruptionQuarantines rots a resident entry while the tier is
+// live: the next Get must miss (never serve bad voxels), quarantine the
+// file, and drop the index entry so later Gets miss cheaply.
+func TestRuntimeCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTier(t, dir, 4, 32, nil)
+	tr.Put(5, block(5, 32))
+	path := filepath.Join(dir, spillName(5))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[spillHeaderSize] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("corrupt block served")
+	}
+	c := tr.Counters()
+	if c.DiskFaults != 1 || c.Quarantined != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if tr.Contains(5) {
+		t.Fatal("corrupt entry still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, spillName(5))); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+}
+
+func TestShortWriteCaughtOnRead(t *testing.T) {
+	ffs := faultio.NewFaultFS(nil, faultio.FileFaultConfig{Seed: 6, ShortWriteRate: 1})
+	tr := openTier(t, t.TempDir(), 4, 64, func(c *Config) { c.FS = ffs })
+	tr.Put(1, block(1, 64)) // lies: reports success, persists half
+	if c := tr.Counters(); c.SpillWrites != 1 {
+		t.Fatalf("short write must look successful at spill time: %+v", c)
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("torn spill served")
+	}
+	if c := tr.Counters(); c.Quarantined != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestInstrumentRegistersTierMetrics(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 4, 16, nil)
+	tr.Put(1, block(1, 16))
+	tr.Get(1)
+	reg := obs.NewRegistry()
+	tr.Instrument(reg)
+	snap := reg.Snapshot()
+	if snap.Counters["tier.spill_writes"] != 1 || snap.Counters["tier.spill_hits"] != 1 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["tier.blocks"] != 1 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	if snap.Gauges["tier.breaker_state"] != 0 {
+		t.Fatalf("breaker_state gauge = %d", snap.Gauges["tier.breaker_state"])
+	}
+	for _, name := range []string{
+		"tier.spill_misses", "tier.disk_faults", "tier.quarantined",
+		"tier.evictions", "tier.occupancy_bytes",
+	} {
+		found := false
+		for _, have := range reg.Names() {
+			if have == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+}
+
+// TestConcurrentAccess churns Get/Put from many goroutines under the race
+// detector: no panics, no lost index/occupancy consistency.
+func TestConcurrentAccess(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 16, 32, func(c *Config) { c.Synchronous = false })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := grid.BlockID((w*31 + i) % 40)
+				if i%3 == 0 {
+					tr.Put(id, block(id, 32))
+				} else {
+					tr.Get(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Drain()
+	if used, n := tr.Used(), tr.Len(); used > tr.cap || n > 16 {
+		t.Fatalf("over budget: %d bytes, %d blocks", used, n)
+	}
+	tr.Close()
+	testutil.VerifyNoLeaks(t)
+}
+
+func TestCloseIsIdempotentAndStopsPuts(t *testing.T) {
+	tr := openTier(t, t.TempDir(), 4, 16, func(c *Config) { c.Synchronous = false })
+	tr.Put(1, block(1, 16))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Put(2, block(2, 16)) // must not panic on the closed queue
+	tr.Drain()              // must not hang after Close
+	testutil.VerifyNoLeaks(t)
+}
+
+func TestReopenWithSmallerBudgetSheds(t *testing.T) {
+	dir := t.TempDir()
+	tr := openTier(t, dir, 4, 16, nil)
+	for id := grid.BlockID(0); id < 4; id++ {
+		tr.Put(id, block(id, 16))
+	}
+	tr.Close()
+	tr2 := openTier(t, dir, 2, 16, nil)
+	if tr2.Len() != 2 || tr2.Used() > tr2.cap {
+		t.Fatalf("Len=%d Used=%d after shrink", tr2.Len(), tr2.Used())
+	}
+}
