@@ -17,9 +17,9 @@ FUZZ_PKGS := ./internal/blocksvc/...
 # and the two-replica network-chaos end-to-end run.
 CHAOS_TESTS := 'TestChaos|TestBreaker|TestFailover|TestDrain|TestHandshakeWriteDeadline|TestServerDetectsDeadPeer|TestClientDetectsDeadServer|TestKeepalive|TestChecksumFaultsDontFailover|TestCloseConcurrentWithReads'
 
-.PHONY: check vet build test race chaos chaos-smoke spill-smoke fuzz-smoke bench bench-all bench-smoke bench-check
+.PHONY: check vet build test race chaos chaos-smoke spill-smoke pipe-smoke fuzz-smoke bench bench-all bench-smoke bench-check
 
-check: vet build test race chaos-smoke spill-smoke fuzz-smoke bench-smoke bench-check
+check: vet build test race chaos-smoke spill-smoke pipe-smoke fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,13 @@ chaos-smoke:
 # heal must all survive every commit.
 spill-smoke:
 	$(GO) test -race -count=1 -run='EndToEnd|TestPolicyParity|TestRescan|TestBreaker' ./internal/tier/
+
+# pipe-smoke runs the protocol-v4 wire-path suite under the race detector:
+# v3 interop, the compression codec round-trip, pipelined batches
+# multiplexed over one conn, the mid-response stall failover scope, and the
+# lying-compressed-header allocation bound.
+pipe-smoke:
+	$(GO) test -race -count=1 -run='TestProtocolV3Interop|TestCompressionRoundTrip|TestPipelined|TestStallMidResponse|TestLyingFlateHeader' ./internal/blocksvc/
 
 # bench records the tracked hot-path numbers to results/BENCH_ooc.json (and
 # echoes the raw output). Commit the JSON when the numbers move.

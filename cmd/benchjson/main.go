@@ -9,7 +9,8 @@
 //
 // With -out, parsed results are recorded. With -check, they are compared
 // against the named baseline instead: any benchmark present in both whose
-// ns/op regressed by more than -max-regress percent fails the run — the
+// ns/op — or, when the baseline carries -benchmem data, B/op or allocs/op —
+// regressed by more than -max-regress percent fails the run — the
 // repo's perf gate. Benchmark names are matched with their -GOMAXPROCS
 // suffix stripped, so a baseline recorded as "BenchmarkFrame" gates a run
 // reported as "BenchmarkFrame-8".
@@ -147,7 +148,11 @@ func normalizeName(name string) string {
 }
 
 // compare gates current against baseline: for every benchmark present in
-// both (by normalized name), ns/op may grow by at most maxRegress percent.
+// both (by normalized name), ns/op may grow by at most maxRegress percent,
+// and — when the baseline recorded them (-benchmem) — so may B/op and
+// allocs/op, which catch allocation regressions long before they cost
+// enough wall time to trip the ns/op gate. A zero baseline dimension is
+// skipped: an older record without -benchmem data must not gate it.
 // Returns the number of benchmarks compared and a message per regression.
 // Benchmarks only in one document are ignored — adding or retiring a
 // benchmark must not break the gate.
@@ -164,13 +169,20 @@ func compare(baseline, current File, maxRegress float64) (int, []string) {
 			continue
 		}
 		compared++
-		limit := b.NsPerOp * (1 + maxRegress/100)
-		if cur.NsPerOp > limit {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.0f ns/op vs baseline %.0f ns/op (+%.1f%%, limit +%.0f%%)",
-				normalizeName(cur.Name), cur.NsPerOp, b.NsPerOp,
-				100*(cur.NsPerOp/b.NsPerOp-1), maxRegress))
+		gate := func(unit string, curV, baseV float64) {
+			if baseV <= 0 {
+				return
+			}
+			if limit := baseV * (1 + maxRegress/100); curV > limit {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f %s vs baseline %.0f %s (+%.1f%%, limit +%.0f%%)",
+					normalizeName(cur.Name), curV, unit, baseV, unit,
+					100*(curV/baseV-1), maxRegress))
+			}
 		}
+		gate("ns/op", cur.NsPerOp, b.NsPerOp)
+		gate("B/op", float64(cur.BytesPerOp), float64(b.BytesPerOp))
+		gate("allocs/op", float64(cur.AllocsPerOp), float64(b.AllocsPerOp))
 	}
 	return compared, regressions
 }

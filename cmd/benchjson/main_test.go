@@ -80,6 +80,42 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareMemoryGates pins the -benchmem gates: B/op and allocs/op
+// regressions fail even when ns/op is flat, and a baseline recorded without
+// -benchmem data (zero dimensions) never gates them.
+func TestCompareMemoryGates(t *testing.T) {
+	baseline := File{Results: []Result{
+		{Name: "BenchmarkFrame", NsPerOp: 10000, BytesPerOp: 1000, AllocsPerOp: 40},
+		{Name: "BenchmarkOld", NsPerOp: 10000}, // pre-benchmem record: ns/op only
+	}}
+	current := File{Results: []Result{
+		{Name: "BenchmarkFrame-8", NsPerOp: 10000, BytesPerOp: 2000, AllocsPerOp: 80},
+		{Name: "BenchmarkOld-8", NsPerOp: 10000, BytesPerOp: 1 << 30, AllocsPerOp: 1 << 20},
+	}}
+	compared, regs := compare(baseline, current, 25)
+	if compared != 2 {
+		t.Errorf("compared %d benchmarks, want 2", compared)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %q, want B/op and allocs/op for BenchmarkFrame", regs)
+	}
+	if !strings.Contains(regs[0], "B/op") || !strings.Contains(regs[1], "allocs/op") {
+		t.Errorf("regressions = %q, want one B/op and one allocs/op", regs)
+	}
+	for _, r := range regs {
+		if strings.Contains(r, "BenchmarkOld") {
+			t.Errorf("zero-dimension baseline gated: %q", r)
+		}
+	}
+	// Inside the limit: +20% on every dimension passes.
+	ok := File{Results: []Result{
+		{Name: "BenchmarkFrame-8", NsPerOp: 12000, BytesPerOp: 1200, AllocsPerOp: 48},
+	}}
+	if _, regs := compare(baseline, ok, 25); len(regs) != 0 {
+		t.Errorf("within-limit run flagged: %q", regs)
+	}
+}
+
 func TestParseStream(t *testing.T) {
 	in := strings.NewReader(`goos: linux
 goversion: go1.24.0

@@ -397,6 +397,10 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 			rs.Requests, rs.BlocksRequested, rs.Dials, rs.BytesReceived>>20, rs.ViewUpdates)
 		fmt.Printf("remote faults      %d server-side, %d shed, %d wire checksum rejects, %d torn connections\n",
 			rs.RemoteFaults, rs.ShedRequests, rs.ChecksumErrors, rs.TransportErrors)
+		if rs.DecompressedBlocks > 0 {
+			fmt.Printf("remote codec       %d compressed blocks inflated to %d MiB\n",
+				rs.DecompressedBlocks, rs.DecompressedBytes>>20)
+		}
 		fmt.Printf("remote liveness    %d pings sent (%d pongs), %d dead conns dropped, %d goaways seen\n",
 			rs.PingsSent, rs.PongsReceived, rs.DeadPeers, rs.GoawaysReceived)
 		fmt.Printf("remote failover    %d batches re-routed; breaker %d opens / %d probes / %d closes\n",

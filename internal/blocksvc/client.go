@@ -2,12 +2,16 @@ package blocksvc
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"context"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,9 +59,14 @@ type ClientConfig struct {
 	// re-issued transparently to the next. Empty means the single
 	// Addr/Dial endpoint.
 	Endpoints []Endpoint
-	// Conns bounds the connection pool: the number of concurrently
-	// outstanding requests across all endpoints (default 2).
+	// Conns bounds the connection pool (default 2). Each connection
+	// multiplexes up to the server-granted number of tagged requests, so
+	// concurrent batches share connections before new ones are dialed.
 	Conns int
+	// PipelineDepth caps how many tagged requests this client keeps in
+	// flight per connection, within the server's advertised limit
+	// (default 4).
+	PipelineDepth int
 	// DialTimeout bounds one connect-plus-handshake (default 5s).
 	DialTimeout time.Duration
 	// Retry is the reconnect policy: how many times, and with what
@@ -94,6 +103,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Conns <= 0 {
 		c.Conns = 2
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 4
+	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
 	}
@@ -121,42 +133,51 @@ func (c ClientConfig) withDefaults() ClientConfig {
 
 // ClientStats counts client activity, snapshotted under one lock.
 type ClientStats struct {
-	Dials           int64 // successful connects (incl. reconnects)
-	DialRetries     int64 // extra dial attempts beyond each first
-	Requests        int64 // read batches issued (failover re-issues not re-counted)
-	BlocksRequested int64
-	BlocksServed    int64 // blocks answered with payloads
-	RemoteFaults    int64 // blocks answered with fault statuses
-	ShedRequests    int64 // requests refused by server admission control
-	ChecksumErrors  int64 // payloads rejected by wire CRC verification
-	TransportErrors int64 // torn connections (request failed mid-flight)
-	BytesReceived   int64 // payload bytes received
-	ViewUpdates     int64 // view messages sent
-	Failovers       int64 // batches re-issued to a different endpoint
-	GoawaysReceived int64 // drain announcements seen
-	PingsSent       int64 // keepalive probes sent on idle connections
-	PongsReceived   int64
-	DeadPeers       int64 // idle connections dropped by a failed keepalive
-	BreakerOpens    int64 // circuits opened (threshold hit or probe failed)
-	BreakerProbes   int64 // half-open probes admitted
-	BreakerCloses   int64 // circuits closed again by a healthy round trip
+	Dials              int64 // successful connects (incl. reconnects)
+	DialRetries        int64 // extra dial attempts beyond each first
+	Requests           int64 // read batches issued (failover re-issues not re-counted)
+	BlocksRequested    int64
+	BlocksServed       int64 // blocks answered with payloads
+	RemoteFaults       int64 // blocks answered with fault statuses
+	ShedRequests       int64 // requests refused by server admission control
+	ChecksumErrors     int64 // payloads rejected by wire CRC verification
+	TransportErrors    int64 // torn connections (request failed mid-flight)
+	BytesReceived      int64 // payload bytes received (as sent on the wire)
+	DecompressedBlocks int64 // blocks that arrived flate-compressed
+	DecompressedBytes  int64 // decoded bytes recovered from compressed blocks
+	ViewUpdates        int64 // view messages sent
+	Failovers          int64 // batches re-issued to a different endpoint
+	GoawaysReceived    int64 // drain announcements seen
+	PingsSent          int64 // keepalive probes sent on idle connections
+	PongsReceived      int64
+	DeadPeers          int64 // idle connections torn down by a liveness timeout
+	BreakerOpens       int64 // circuits opened (threshold hit or probe failed)
+	BreakerProbes      int64 // half-open probes admitted
+	BreakerCloses      int64 // circuits closed again by a healthy round trip
 }
 
 // RemoteReader reads blocks from one or more replica blocksvc servers. It
-// implements store.BlockReader, store.ContextBlockReader, and
-// store.BatchBlockReader, so it drops into a store.MemCache (and therefore
-// ooc.Runtime) exactly where a local BlockFile would: a whole miss batch
-// travels as one request and returns per-block results.
+// implements store.BlockReader, store.ContextBlockReader,
+// store.BatchBlockReader, and store.BlockBufRecycler, so it drops into a
+// store.MemCache (and therefore ooc.Runtime) exactly where a local
+// BlockFile would: a whole miss batch travels as one tagged request,
+// returns per-block results, and — with cache recycling on — decodes into
+// buffers evicted earlier instead of allocating.
+//
+// Connections are multiplexed: each carries up to the server-granted
+// number of concurrently tagged requests (bounded by PipelineDepth), a
+// dedicated read loop demultiplexes out-of-order responses by tag, and
+// concurrent batches share a connection before a new one is dialed.
 //
 // Failure handling follows the faultio classes: a torn connection or a
-// shed response sends the batch's unanswered blocks to the next healthy
-// endpoint (at most FailoverAttempts connections per batch), per-endpoint
-// circuit breakers keep dead replicas from being redialed in the hot path,
-// and a GOAWAY drains an endpoint without failing anything. Per-block
-// answers — including checksum faults — never trigger failover: an
-// endpoint that answers is healthy, even when its answers are errors.
-// Safe for concurrent use; each pooled connection carries one request at a
-// time.
+// shed response sends a batch's unanswered blocks to the next healthy
+// endpoint (at most FailoverAttempts connections per batch) — blocks
+// already answered before the tear are kept — per-endpoint circuit
+// breakers keep dead replicas from being redialed in the hot path, and a
+// GOAWAY drains an endpoint without failing anything. Per-block answers —
+// including checksum faults — never trigger failover: an endpoint that
+// answers is healthy, even when its answers are errors. Safe for
+// concurrent use.
 type RemoteReader struct {
 	cfg ClientConfig
 	m   *clientMetrics
@@ -166,19 +187,27 @@ type RemoteReader struct {
 	g      *grid.Grid
 	hb     time.Duration // keepalive cadence (0 = liveness disabled)
 
-	slots chan struct{} // tokens: right to own one connection
-	idle  chan *rconn
-
 	stopKA chan struct{} // closed by Close to stop the keepalive loop
 	kaWG   sync.WaitGroup
+	connWG sync.WaitGroup // read loops of live connections
 
-	mu     sync.Mutex
-	conns  map[*rconn]struct{}
-	closed bool
+	mu      sync.Mutex
+	conns   map[*rconn]struct{}
+	nconns  int             // live conns plus dials in progress
+	waiters []chan struct{} // batches waiting for capacity
+	closed  bool
+
+	bufMu sync.Mutex
+	free  [][]float32 // recycled decode buffers (fed via RecycleBlockBuf)
 
 	statsMu sync.Mutex
 	stats   ClientStats
 }
+
+var (
+	_ store.BatchBlockReader = (*RemoteReader)(nil)
+	_ store.BlockBufRecycler = (*RemoteReader)(nil)
+)
 
 // endpoint is one replica plus its health state.
 type endpoint struct {
@@ -192,16 +221,89 @@ type endpoint struct {
 	failures atomic.Int64 // transport failures attributed to this endpoint
 }
 
-// rconn is one pooled connection serving one request at a time.
+// Outcomes of one tagged request, set once under pendingReq.mu before its
+// done channel closes.
+const (
+	reqOK   = 1 + iota // server answered every block and sent done
+	reqShed            // server refused the request (admission control)
+	reqTorn            // connection died with the tag unanswered
+)
+
+// pendingReq is one tagged in-flight request: the read loop fills vals and
+// errs as responses stream in, and the issuing batch harvests them after
+// done closes. Partial fills survive a tear, so failover re-issues only
+// the tag's unanswered blocks.
+type pendingReq struct {
+	req uint64
+	ids []grid.BlockID
+
+	mu       sync.Mutex
+	vals     [][]float32
+	errs     []error
+	answered int
+	outcome  int
+	err      error
+	done     chan struct{}
+}
+
+// rconn is one pooled connection multiplexing tagged requests: writers
+// serialize frames under writeMu, a dedicated readLoop demultiplexes
+// responses into the pending map, and tags counts reserved request slots
+// against the server-granted maxReqs.
 type rconn struct {
-	c       net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	ep      *endpoint
+	r  *RemoteReader
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	ep *endpoint
+
 	session uint64
-	nextReq uint64
 	hb      time.Duration // server-advertised heartbeat interval
-	goaway  bool          // endpoint announced drain on this conn; do not reuse
+	hbEff   time.Duration // resolved liveness cadence for this conn
+	maxReqs int           // server-granted concurrent requests
+
+	tags   atomic.Int32 // reserved request slots
+	dead   atomic.Bool  // torn down; skip on acquire
+	goaway atomic.Bool  // endpoint announced drain on this conn; do not reuse
+
+	writeMu      sync.Mutex
+	lastWriteArm time.Time // guarded by writeMu; see armWrite
+
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]*pendingReq
+
+	// flate state is owned by the read loop (one goroutine per conn).
+	zsrc bytes.Reader
+	zr   io.ReadCloser
+}
+
+// tryReserve grabs up to want request slots, returning how many it got
+// (0 when the connection is full).
+func (rc *rconn) tryReserve(want int) int {
+	for {
+		cur := rc.tags.Load()
+		free := int32(rc.maxReqs) - cur
+		if free <= 0 {
+			return 0
+		}
+		k := int32(want)
+		if k > free {
+			k = free
+		}
+		if rc.tags.CompareAndSwap(cur, cur+k) {
+			return int(k)
+		}
+	}
+}
+
+// unreserve returns request slots and wakes batches waiting for capacity.
+func (rc *rconn) unreserve(k int) {
+	if k <= 0 {
+		return
+	}
+	rc.tags.Add(-int32(k))
+	rc.r.wake()
 }
 
 // Dial connects to a block service and learns the served geometry from its
@@ -212,8 +314,6 @@ func Dial(cfg ClientConfig) (*RemoteReader, error) {
 	cfg = cfg.withDefaults()
 	r := &RemoteReader{
 		cfg:   cfg,
-		slots: make(chan struct{}, cfg.Conns),
-		idle:  make(chan *rconn, cfg.Conns),
 		conns: make(map[*rconn]struct{}),
 	}
 	for i, e := range cfg.Endpoints {
@@ -229,9 +329,7 @@ func Dial(cfg ClientConfig) (*RemoteReader, error) {
 		})
 	}
 	r.m = newClientMetrics(r, cfg.Metrics)
-	for i := 0; i < cfg.Conns; i++ {
-		r.slots <- struct{}{}
-	}
+	r.nconns = 1 // the eager connection below
 	ctx, cancel := context.WithTimeout(context.Background(),
 		time.Duration(len(r.eps))*cfg.DialTimeout)
 	defer cancel()
@@ -243,11 +341,10 @@ func Dial(cfg ClientConfig) (*RemoteReader, error) {
 		}
 	}
 	if err != nil {
+		r.nconns = 0
 		return nil, err
 	}
-	r.hb = r.connHB(conn)
-	r.release(conn)
-	<-r.slots // the eager connection consumed one slot
+	r.hb = conn.hbEff
 	if r.hb > 0 {
 		r.stopKA = make(chan struct{})
 		r.kaWG.Add(1)
@@ -274,9 +371,65 @@ func (r *RemoteReader) connHB(rc *rconn) time.Duration {
 	return rc.hb
 }
 
+// wake releases every batch parked for pool capacity; each re-scans.
+func (r *RemoteReader) wake() {
+	r.mu.Lock()
+	ws := r.waiters
+	r.waiters = nil
+	r.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// getBuf returns a decode buffer of exactly n floats, reusing a recycled
+// one when available. Only the most recent few are scanned: with uniform
+// block geometry every free buffer matches, and mixed sizes stay cheap.
+func (r *RemoteReader) getBuf(n int) []float32 {
+	r.bufMu.Lock()
+	lo := len(r.free) - 8
+	if lo < 0 {
+		lo = 0
+	}
+	for i := len(r.free) - 1; i >= lo; i-- {
+		if len(r.free[i]) == n {
+			b := r.free[i]
+			last := len(r.free) - 1
+			r.free[i] = r.free[last]
+			r.free[last] = nil
+			r.free = r.free[:last]
+			r.bufMu.Unlock()
+			return b
+		}
+	}
+	r.bufMu.Unlock()
+	return make([]float32, n)
+}
+
+// maxClientFreeBufs bounds the recycled-buffer list; beyond it, returned
+// buffers are dropped for the GC.
+const maxClientFreeBufs = 64
+
+// RecycleBlockBuf hands a block buffer back for reuse by a later response
+// decode. It implements store.BlockBufRecycler: a MemCache with recycling
+// enabled feeds evicted blocks here, closing the loop so a steady miss
+// stream decodes into evicted memory instead of allocating. The caller
+// must no longer read the buffer.
+func (r *RemoteReader) RecycleBlockBuf(vals []float32) {
+	if len(vals) == 0 {
+		return
+	}
+	r.bufMu.Lock()
+	if len(r.free) < maxClientFreeBufs {
+		r.free = append(r.free, vals)
+	}
+	r.bufMu.Unlock()
+}
+
 // connect dials and handshakes one connection to ep, retrying with backoff
 // under the configured Retrier. Success clears the endpoint's draining
-// mark (it evidently accepts sessions again) and feeds its breaker.
+// mark (it evidently accepts sessions again), feeds its breaker, registers
+// the conn, and starts its read loop. The caller owns one nconns slot.
 func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error) {
 	var conn *rconn
 	attempts, err := r.cfg.Retry.Do(ctx, func(c context.Context) error {
@@ -305,6 +458,7 @@ func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error
 	ep.draining.Store(false)
 	r.noteSuccess(ep)
 	r.count(func(s *ClientStats) { s.Dials++ })
+	conn.hbEff = r.connHB(conn)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -312,22 +466,29 @@ func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error
 		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
 	}
 	r.conns[conn] = struct{}{}
+	r.connWG.Add(1)
 	r.mu.Unlock()
+	go conn.readLoop()
+	r.wake()
 	return conn, nil
 }
 
-// handshake exchanges hello/welcome and validates the geometry against the
-// first connection's — replicas must serve the same volume.
+// handshake exchanges hello/welcome, learns the negotiated capabilities
+// and request window, and validates the geometry against the first
+// connection's — replicas must serve the same volume.
 func (r *RemoteReader) handshake(ep *endpoint, raw net.Conn) (*rconn, error) {
 	rc := &rconn{
-		c:  raw,
-		br: bufio.NewReaderSize(raw, 256<<10),
-		bw: bufio.NewWriterSize(raw, 64<<10),
-		ep: ep,
+		r:       r,
+		c:       raw,
+		br:      bufio.NewReaderSize(raw, 256<<10),
+		bw:      bufio.NewWriterSize(raw, 64<<10),
+		ep:      ep,
+		pending: make(map[uint64]*pendingReq),
 	}
 	var e enc
 	e.u32(protoMagic)
 	e.u16(ProtoVersion)
+	e.u32(clientCaps)
 	if err := writeFrame(rc.bw, msgHello, e.b); err != nil {
 		return nil, faultio.Transient(err)
 	}
@@ -353,6 +514,13 @@ func (r *RemoteReader) handshake(ep *endpoint, raw net.Conn) (*rconn, error) {
 	hdr := welcome.Header
 	rc.session = welcome.Session
 	rc.hb = time.Duration(welcome.HeartbeatMillis) * time.Millisecond
+	rc.maxReqs = int(welcome.MaxRequests)
+	if rc.maxReqs > r.cfg.PipelineDepth {
+		rc.maxReqs = r.cfg.PipelineDepth
+	}
+	if rc.maxReqs < 1 {
+		rc.maxReqs = 1
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.g == nil {
@@ -402,108 +570,100 @@ func (r *RemoteReader) pickEndpoint(avoid *endpoint) *endpoint {
 	return nil
 }
 
-// acquire returns a pooled connection, preferring idle conns to healthy
-// endpoints other than avoid, then fresh dials, then whatever becomes
-// available. Conns whose endpoint is draining are discarded on sight.
-func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint) (*rconn, error) {
-	r.mu.Lock()
-	closed := r.closed
-	r.mu.Unlock()
-	if closed {
-		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
-	}
-	// Fast path: scan the idle pool for a conn to a usable endpoint,
-	// setting avoided ones aside rather than consuming them.
-	var aside []*rconn
-	var got *rconn
-scan:
+// usable reports whether rc can carry new work.
+func (rc *rconn) usable() bool {
+	return !rc.dead.Load() && !rc.goaway.Load() && !rc.ep.draining.Load()
+}
+
+// acquire returns a connection with want request slots reserved on it
+// (granted ≤ want, at least 1 when want > 0; 0 reserved when want is 0,
+// for fire-and-forget frames). Preference order: a live conn to an
+// endpoint other than avoid with free slots, then a fresh dial while the
+// pool has room, then a conn to the avoided endpoint, then wait for
+// capacity.
+func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (*rconn, int, error) {
 	for {
-		select {
-		case rc := <-r.idle:
-			if rc.goaway || rc.ep.draining.Load() {
-				r.drop(rc)
-				continue
-			}
-			if rc.ep == avoid && len(r.eps) > 1 {
-				aside = append(aside, rc)
-				continue
-			}
-			got = rc
-			break scan
-		default:
-			break scan
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
 		}
-	}
-	for _, rc := range aside {
-		r.release(rc)
-	}
-	if got != nil {
-		return got, nil
-	}
-	for {
-		select {
-		case rc := <-r.idle:
-			if rc.goaway || rc.ep.draining.Load() {
-				r.drop(rc)
-				continue
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, 0, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
+		}
+		scan := func(skipAvoid bool) *rconn {
+			var best *rconn
+			for rc := range r.conns {
+				if !rc.usable() || (skipAvoid && rc.ep == avoid) {
+					continue
+				}
+				if int(rc.tags.Load()) >= rc.maxReqs {
+					continue
+				}
+				if best == nil || rc.tags.Load() < best.tags.Load() {
+					best = rc
+				}
 			}
-			return rc, nil // possibly the avoided endpoint: a conn beats none
-		case <-r.slots:
+			return best
+		}
+		best := scan(avoid != nil && len(r.eps) > 1)
+		if best != nil {
+			r.mu.Unlock()
+			if want <= 0 {
+				return best, 0, nil
+			}
+			if k := best.tryReserve(want); k > 0 {
+				return best, k, nil
+			}
+			continue // raced to full; rescan
+		}
+		if r.nconns < r.cfg.Conns {
+			r.nconns++
+			r.mu.Unlock()
 			ep := r.pickEndpoint(avoid)
 			if ep == nil {
-				r.slots <- struct{}{}
-				return nil, fmt.Errorf("blocksvc: no admissible endpoint (breakers open): %w",
+				r.mu.Lock()
+				r.nconns--
+				r.mu.Unlock()
+				return nil, 0, fmt.Errorf("blocksvc: no admissible endpoint (breakers open): %w",
 					faultio.ErrTransient)
 			}
 			rc, err := r.connect(ctx, ep)
 			if err != nil {
-				r.slots <- struct{}{}
-				return nil, err
+				r.mu.Lock()
+				r.nconns--
+				r.mu.Unlock()
+				return nil, 0, err
 			}
-			return rc, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
+			if want <= 0 {
+				return rc, 0, nil
+			}
+			if k := rc.tryReserve(want); k > 0 {
+				return rc, k, nil
+			}
+			continue
 		}
-	}
-}
-
-// release parks a healthy connection for reuse. The closed check and the
-// channel send happen under r.mu — the same lock Close drains the pool
-// under — so a conn can never slip into the pool behind Close: either this
-// release observes closed and drops, or its send completes before Close's
-// drain runs. The send never blocks; idle's capacity is Conns and at most
-// Conns rconns exist.
-func (r *RemoteReader) release(rc *rconn) {
-	r.mu.Lock()
-	if r.closed {
+		// A conn to the avoided endpoint with capacity beats waiting.
+		if avoid != nil {
+			if best := scan(false); best != nil {
+				r.mu.Unlock()
+				if want <= 0 {
+					return best, 0, nil
+				}
+				if k := best.tryReserve(want); k > 0 {
+					return best, k, nil
+				}
+				continue
+			}
+		}
+		w := make(chan struct{})
+		r.waiters = append(r.waiters, w)
 		r.mu.Unlock()
-		r.drop(rc)
-		return
-	}
-	r.idle <- rc
-	r.mu.Unlock()
-}
-
-// finishConn returns a conn to the pool after a completed exchange,
-// retiring it instead when its endpoint said goaway.
-func (r *RemoteReader) finishConn(rc *rconn) {
-	rc.c.SetReadDeadline(time.Time{})
-	if rc.goaway {
-		r.drop(rc)
-		return
-	}
-	r.release(rc)
-}
-
-// drop discards a torn connection and frees its pool slot for a redial.
-func (r *RemoteReader) drop(rc *rconn) {
-	rc.c.Close()
-	r.mu.Lock()
-	delete(r.conns, rc)
-	r.mu.Unlock()
-	select {
-	case r.slots <- struct{}{}:
-	default:
+		select {
+		case <-w:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
 	}
 }
 
@@ -531,25 +691,22 @@ func (r *RemoteReader) Close() error {
 		return nil
 	}
 	r.closed = true
+	conns := make([]*rconn, 0, len(r.conns))
 	for rc := range r.conns {
-		rc.c.Close()
-	}
-	// Drain the idle pool under the same lock release publishes under;
-	// any release racing us observes closed and self-drops.
-drain:
-	for {
-		select {
-		case rc := <-r.idle:
-			rc.c.Close()
-		default:
-			break drain
-		}
+		conns = append(conns, rc)
 	}
 	r.mu.Unlock()
+	// Closing the sockets errors each read loop, which runs teardown:
+	// pending tags fail transiently and the conn deregisters itself.
+	for _, rc := range conns {
+		rc.c.Close()
+	}
+	r.wake()
 	if r.stopKA != nil {
 		close(r.stopKA)
 		r.kaWG.Wait()
 	}
+	r.connWG.Wait()
 	return nil
 }
 
@@ -568,8 +725,10 @@ func (r *RemoteReader) count(f func(*ClientStats)) {
 
 // keepaliveLoop pings idle pooled connections at the liveness cadence, so
 // a quiet client still notices a dead or draining server within
-// 2×heartbeat — connections busy with requests get their liveness from the
-// response stream's read deadlines instead.
+// 2×heartbeat: the ping either draws a pong (resetting the read loop's
+// deadline) or nothing, and the read loop's deadline expiry tears the conn
+// down. Connections with requests in flight get their liveness from the
+// response stream instead.
 func (r *RemoteReader) keepaliveLoop() {
 	defer r.kaWG.Done()
 	tick := time.NewTicker(r.hb)
@@ -580,93 +739,361 @@ func (r *RemoteReader) keepaliveLoop() {
 			return
 		case <-tick.C:
 		}
-		var idle []*rconn
-	gather:
-		for {
-			select {
-			case rc := <-r.idle:
-				idle = append(idle, rc)
-			default:
-				break gather
-			}
+		r.mu.Lock()
+		conns := make([]*rconn, 0, len(r.conns))
+		for rc := range r.conns {
+			conns = append(conns, rc)
 		}
-		for _, rc := range idle {
-			if err := r.ping(rc); err != nil {
-				r.count(func(s *ClientStats) { s.DeadPeers++ })
-				r.noteFailure(rc.ep)
-				r.drop(rc)
+		r.mu.Unlock()
+		for _, rc := range conns {
+			if rc.dead.Load() || rc.tags.Load() > 0 {
 				continue
 			}
-			if rc.goaway {
-				r.drop(rc)
-				continue
-			}
-			r.noteSuccess(rc.ep)
-			r.release(rc)
+			rc.ping()
 		}
 	}
 }
 
-// ping performs one synchronous liveness round trip on an idle conn,
-// consuming any server pings or goaway queued on it along the way.
-func (r *RemoteReader) ping(rc *rconn) error {
-	hb := r.connHB(rc)
-	if hb <= 0 {
-		hb = r.hb
+// armWrite refreshes the write deadline once its slack has decayed below
+// 1.5×hb. Called with writeMu held before every write; the deadline is never
+// cleared — since each write path arms first, a leftover deadline cannot
+// fail a later write spuriously, and skipping the clear halves the timer
+// traffic a deadline round-trip costs.
+func (rc *rconn) armWrite() {
+	if rc.hbEff <= 0 {
+		return
 	}
-	deadline := time.Now().Add(2 * hb)
-	rc.c.SetWriteDeadline(deadline)
-	rc.c.SetReadDeadline(deadline)
-	defer func() {
-		rc.c.SetWriteDeadline(time.Time{})
-		rc.c.SetReadDeadline(time.Time{})
-	}()
+	if now := time.Now(); now.Sub(rc.lastWriteArm) > rc.hbEff/2 {
+		rc.c.SetWriteDeadline(now.Add(2 * rc.hbEff))
+		rc.lastWriteArm = now
+	}
+}
+
+// ping fires one liveness probe; the pong comes back through the read
+// loop. A write failure tears the connection down immediately.
+func (rc *rconn) ping() {
+	rc.mu.Lock()
 	rc.nextReq++
-	var e enc
-	e.u64(rc.nextReq)
-	if err := writeFrame(rc.bw, msgPing, e.b); err != nil {
-		return err
+	token := rc.nextReq
+	rc.mu.Unlock()
+	e := getEnc()
+	e.u64(token)
+	rc.writeMu.Lock()
+	rc.armWrite()
+	err := writeFrame(rc.bw, msgPing, e.b)
+	if err == nil {
+		err = rc.bw.Flush()
 	}
-	if err := rc.bw.Flush(); err != nil {
-		return err
+	rc.writeMu.Unlock()
+	putEnc(e)
+	rc.r.count(func(s *ClientStats) { s.PingsSent++ })
+	if err != nil {
+		rc.teardown(err)
 	}
-	r.count(func(s *ClientStats) { s.PingsSent++ })
+}
+
+// teardown kills a torn connection exactly once: closes the socket,
+// deregisters it from the pool, and fails every pending tag transiently so
+// their batches fail over. The endpoint is charged a failure unless the
+// client itself is closing or the conn was drained by GOAWAY; an idle conn
+// whose liveness deadline expired additionally counts a dead peer.
+func (rc *rconn) teardown(cause error) {
+	rc.mu.Lock()
+	if rc.dead.Load() {
+		rc.mu.Unlock()
+		return
+	}
+	rc.dead.Store(true)
+	pend := rc.pending
+	rc.pending = make(map[uint64]*pendingReq)
+	rc.mu.Unlock()
+	rc.c.Close()
+	r := rc.r
+	r.mu.Lock()
+	delete(r.conns, rc)
+	r.nconns--
+	closed := r.closed
+	r.mu.Unlock()
+	err := fmt.Errorf("blocksvc: connection lost: %v: %w", cause, faultio.ErrTransient)
+	for _, p := range pend {
+		p.mu.Lock()
+		if p.outcome == 0 {
+			p.outcome = reqTorn
+			p.err = err
+			close(p.done)
+		}
+		p.mu.Unlock()
+	}
+	r.wake()
+	if closed || rc.goaway.Load() {
+		return
+	}
+	if len(pend) == 0 && errors.Is(cause, os.ErrDeadlineExceeded) {
+		r.count(func(s *ClientStats) { s.DeadPeers++ })
+	}
+	r.noteFailure(rc.ep)
+}
+
+// readLoop is rc's dedicated receiver: it owns the conn's read side,
+// demultiplexes every inbound frame by tag, and reuses one receive buffer
+// across frames (growing it only when a frame exceeds it, under
+// readPayload's hostile-length bound). Any protocol violation or transport
+// error tears the connection down.
+func (rc *rconn) readLoop() {
+	defer rc.r.connWG.Done()
+	buf := make([]byte, 0, 64<<10)
+	var lastArm time.Time
 	for {
-		typ, payload, err := readFrame(rc.br)
+		if rc.hbEff > 0 {
+			// Re-arming every frame makes the runtime allocate a timer per
+			// block batch; re-arm only once the armed deadline has consumed a
+			// quarter of its slack, keeping at least 1.5×hb of headroom.
+			if now := time.Now(); now.Sub(lastArm) > rc.hbEff/2 {
+				rc.c.SetReadDeadline(now.Add(2 * rc.hbEff))
+				lastArm = now
+			}
+		}
+		typ, payload, err := readFrameBuf(rc.br, buf)
 		if err != nil {
-			return err
+			rc.teardown(err)
+			return
 		}
-		switch typ {
-		case msgPong:
-			if _, ok := decodeToken(payload); !ok {
-				return fmt.Errorf("blocksvc: bad pong")
-			}
-			r.count(func(s *ClientStats) { s.PongsReceived++ })
-			return nil
-		case msgPing:
-			token, ok := decodeToken(payload)
-			if !ok {
-				return fmt.Errorf("blocksvc: bad ping")
-			}
-			var p enc
-			p.u64(token)
-			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
-				return err
-			}
-			if err := rc.bw.Flush(); err != nil {
-				return err
-			}
-		case msgGoaway:
-			if _, ok := decodeGoaway(payload); !ok {
-				return fmt.Errorf("blocksvc: bad goaway")
-			}
-			rc.goaway = true
-			rc.ep.draining.Store(true)
-			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
-		default:
-			return fmt.Errorf("blocksvc: unexpected frame %d on idle connection", typ)
+		if err := rc.handleFrame(typ, payload); err != nil {
+			rc.teardown(err)
+			return
 		}
+		buf = payload[:0] // adopt (possibly grown) buffer for the next frame
 	}
+}
+
+// handleFrame dispatches one inbound frame; a returned error tears the
+// connection down.
+func (rc *rconn) handleFrame(typ byte, payload []byte) error {
+	r := rc.r
+	switch typ {
+	case msgBlocks:
+		return rc.handleBlocks(payload)
+	case msgDone:
+		token, ok := decodeToken(payload)
+		if !ok {
+			return fmt.Errorf("bad done frame")
+		}
+		p := rc.takePending(token)
+		if p == nil {
+			return fmt.Errorf("stray done frame (req %d)", token)
+		}
+		p.mu.Lock()
+		if p.answered != len(p.ids) {
+			short := len(p.ids) - p.answered
+			if p.outcome == 0 {
+				p.outcome = reqTorn
+				p.err = fmt.Errorf("blocksvc: done with %d of %d blocks unanswered: %w",
+					short, len(p.ids), faultio.ErrTransient)
+				close(p.done)
+			}
+			p.mu.Unlock()
+			return fmt.Errorf("done with %d blocks unanswered", short)
+		}
+		if p.outcome == 0 {
+			p.outcome = reqOK
+			close(p.done)
+		}
+		p.mu.Unlock()
+		rc.unreserve(1)
+		r.noteSuccess(rc.ep)
+		return nil
+	case msgShed:
+		token, ok := decodeToken(payload)
+		if !ok {
+			return fmt.Errorf("bad shed frame")
+		}
+		p := rc.takePending(token)
+		if p == nil {
+			return fmt.Errorf("stray shed frame (req %d)", token)
+		}
+		p.mu.Lock()
+		if p.outcome == 0 {
+			p.outcome = reqShed
+			close(p.done)
+		}
+		p.mu.Unlock()
+		rc.unreserve(1)
+		r.count(func(s *ClientStats) { s.ShedRequests++ })
+		// Shed is proof of life: the endpoint answered, it is just over
+		// capacity.
+		r.noteSuccess(rc.ep)
+		return nil
+	case msgPing:
+		token, ok := decodeToken(payload)
+		if !ok {
+			return fmt.Errorf("bad ping")
+		}
+		e := getEnc()
+		e.u64(token)
+		rc.writeMu.Lock()
+		rc.armWrite()
+		err := writeFrame(rc.bw, msgPong, e.b)
+		if err == nil {
+			err = rc.bw.Flush()
+		}
+		rc.writeMu.Unlock()
+		putEnc(e)
+		return err
+	case msgPong:
+		if _, ok := decodeToken(payload); !ok {
+			return fmt.Errorf("bad pong")
+		}
+		r.count(func(s *ClientStats) { s.PongsReceived++ })
+		r.noteSuccess(rc.ep)
+		return nil
+	case msgGoaway:
+		if _, ok := decodeGoaway(payload); !ok {
+			return fmt.Errorf("bad goaway")
+		}
+		// Finish what is in flight — the server serves what is on the
+		// wire — but take the conn out of rotation and stop preferring
+		// the endpoint.
+		rc.goaway.Store(true)
+		rc.ep.draining.Store(true)
+		r.count(func(s *ClientStats) { s.GoawaysReceived++ })
+		return nil
+	case msgError:
+		return fmt.Errorf("server error: %s", payload)
+	default:
+		return fmt.Errorf("unexpected message type %d", typ)
+	}
+}
+
+// takePending removes and returns the tag's pending request, nil when
+// unknown.
+func (rc *rconn) takePending(req uint64) *pendingReq {
+	rc.mu.Lock()
+	p := rc.pending[req]
+	if p != nil {
+		delete(rc.pending, req)
+	}
+	rc.mu.Unlock()
+	return p
+}
+
+// handleBlocks decodes one response run into its tag's result arrays:
+// verifying each payload's CRC as it lies on the wire, then either bulk
+// byte-copying raw little-endian floats or inflating compressed blocks
+// into recycled buffers. A declared decode size that disagrees with the
+// block's geometry is a protocol violation detected before any
+// allocation — a lying length cannot over-allocate.
+func (rc *rconn) handleBlocks(payload []byte) error {
+	r := rc.r
+	it, ok := blocksHeader(payload, true)
+	if !ok {
+		return fmt.Errorf("bad blocks frame")
+	}
+	rc.mu.Lock()
+	p := rc.pending[it.Req]
+	rc.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("stray blocks frame (req %d)", it.Req)
+	}
+	if it.First < 0 || it.N < 0 || it.First+it.N > len(p.ids) {
+		return fmt.Errorf("blocks frame out of range")
+	}
+	var served, faults, cksum, wireBytes, zblocks, zbytes int64
+	p.mu.Lock()
+	if p.outcome != 0 {
+		p.mu.Unlock()
+		return fmt.Errorf("blocks frame for resolved request %d", it.Req)
+	}
+	pos := it.First
+	for it.next() {
+		k := pos
+		pos++
+		if p.vals[k] != nil || p.errs[k] != nil {
+			p.mu.Unlock()
+			return fmt.Errorf("duplicate answer for block %d", p.ids[k])
+		}
+		id := p.ids[k]
+		if it.Status != statusOK {
+			p.errs[k] = blockErr(it.Status, id)
+			p.answered++
+			faults++
+			continue
+		}
+		if crc32.Checksum(it.Wire, castagnoli) != it.Sum {
+			cksum++
+			p.errs[k] = fmt.Errorf("blocksvc: block %d corrupted in transit: %w",
+				id, faultio.Transient(faultio.ErrChecksum))
+			p.answered++
+			continue
+		}
+		wireBytes += int64(len(it.Wire))
+		if it.Codec == codecRaw {
+			out := r.getBuf(len(it.Wire) / 4)
+			copyF32LE(out, it.Wire)
+			p.vals[k] = out
+		} else {
+			want := r.g.VoxelCount(id) * 4
+			if int64(it.RawLen) != want {
+				p.mu.Unlock()
+				return fmt.Errorf("block %d declares %d decoded bytes, geometry says %d",
+					id, it.RawLen, want)
+			}
+			out := r.getBuf(it.RawLen / 4)
+			if err := rc.inflateInto(out, it.Wire); err != nil {
+				r.RecycleBlockBuf(out)
+				cksum++
+				p.errs[k] = fmt.Errorf("blocksvc: block %d corrupted in transit: %v: %w",
+					id, err, faultio.Transient(faultio.ErrChecksum))
+				p.answered++
+				continue
+			}
+			zblocks++
+			zbytes += int64(it.RawLen)
+			p.vals[k] = out
+		}
+		p.answered++
+		served++
+	}
+	bad := !it.done()
+	p.mu.Unlock()
+	if bad {
+		return fmt.Errorf("bad blocks frame")
+	}
+	r.count(func(s *ClientStats) {
+		s.BlocksServed += served
+		s.RemoteFaults += faults
+		s.ChecksumErrors += cksum
+		s.BytesReceived += wireBytes
+		s.DecompressedBlocks += zblocks
+		s.DecompressedBytes += zbytes
+	})
+	return nil
+}
+
+// inflateInto decompresses one flate-coded block payload into dst, which
+// must be sized exactly to the declared decode length (already validated
+// against the geometry). On little-endian hosts the inflate writes
+// straight into dst's memory; elsewhere a scratch buffer converts. A
+// stream that ends short or carries trailing data is an error.
+func (rc *rconn) inflateInto(dst []float32, wire []byte) error {
+	rc.zsrc.Reset(wire)
+	if rc.zr == nil {
+		rc.zr = flate.NewReader(&rc.zsrc)
+	} else if err := rc.zr.(flate.Resetter).Reset(&rc.zsrc, nil); err != nil {
+		return err
+	}
+	raw := f32leBytes(dst)
+	if raw == nil && len(dst) > 0 {
+		raw = make([]byte, len(dst)*4)
+		defer copyF32LE(dst, raw)
+	}
+	if _, err := io.ReadFull(rc.zr, raw); err != nil {
+		return err
+	}
+	var tail [1]byte
+	if n, _ := rc.zr.Read(tail[:]); n != 0 {
+		return fmt.Errorf("flate stream longer than declared")
+	}
+	return nil
 }
 
 // ReadBlock implements store.BlockReader.
@@ -683,13 +1110,33 @@ func (r *RemoteReader) ReadBlockContext(ctx context.Context, id grid.BlockID) ([
 	return vals[0], nil
 }
 
-// ReadBlocks implements store.BatchBlockReader: one request frame carries
-// the whole batch, and the server streams back per-block results (the
-// store's merged sequential reads happen server-side). A transport failure
-// or shed mid-batch re-issues the unanswered blocks to the next healthy
-// endpoint — blocks already answered are kept — until the batch completes
-// or FailoverAttempts connections have been tried; only then do the
-// remaining blocks fail with a transient fault for the retry layers above.
+// tagsWanted picks how many tagged requests to split a batch across:
+// batches up to splitThreshold blocks stay one request (splitting only
+// adds per-request overhead when the server already streams a single
+// request's runs incrementally), larger ones fan out so the server's
+// request workers overlap their cache reads, capped by PipelineDepth.
+const splitThreshold = 64
+
+func tagsWanted(n, depth int) int {
+	if n <= splitThreshold || depth <= 1 {
+		return 1
+	}
+	t := (n + splitThreshold - 1) / splitThreshold
+	if t > depth {
+		t = depth
+	}
+	return t
+}
+
+// ReadBlocks implements store.BatchBlockReader: the batch travels as one
+// or more tagged request frames on a shared connection, and the server
+// streams back per-block results that the connection's read loop
+// demultiplexes (the store's merged sequential reads happen server-side).
+// A transport failure or shed mid-batch re-issues the unanswered blocks to
+// the next healthy endpoint — blocks already answered are kept, including
+// those of a tag torn mid-response — until the batch completes or
+// FailoverAttempts connections have been tried; only then do the remaining
+// blocks fail with a transient fault for the retry layers above.
 func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
 	vals := make([][]float32, len(ids))
 	errs := make([]error, len(ids))
@@ -717,15 +1164,23 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 	var avoid *endpoint
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		rc, err := r.acquire(ctx, avoid)
+		want := tagsWanted(len(pending), r.cfg.PipelineDepth)
+		rc, granted, err := r.acquire(ctx, avoid, want)
 		if err != nil {
-			return failPending(err)
+			// A failed dial consumes a failover attempt like a torn
+			// exchange would: the endpoint's breaker was already charged,
+			// so the next attempt naturally lands elsewhere.
+			if attempt >= r.cfg.FailoverAttempts || ctx.Err() != nil || !faultio.Retryable(err) {
+				return failPending(err)
+			}
+			lastErr = err
+			continue
 		}
 		if attempt > 1 && rc.ep != avoid {
 			r.count(func(s *ClientStats) { s.Failovers++ })
 		}
 		var done bool
-		done, lastErr = r.request(ctx, rc, ids, vals, errs, pending)
+		done, lastErr = r.exchange(ctx, rc, granted, ids, vals, errs, pending)
 		if done {
 			return vals, errs
 		}
@@ -742,240 +1197,178 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		}
 		avoid = rc.ep
 		if attempt >= r.cfg.FailoverAttempts || ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("blocksvc: incomplete response: %w", faultio.ErrTransient)
+			}
 			return failPending(lastErr)
 		}
 	}
 }
 
-// request issues one read for the pending subset of ids over rc and
-// decodes the streamed response in place. It returns done=true when the
-// response completed (every pending block answered); otherwise the batch
-// should fail over with the returned error. Conn disposition is handled
-// here: completed exchanges return the conn to the pool, torn ones drop it.
-func (r *RemoteReader) request(ctx context.Context, rc *rconn, ids []grid.BlockID,
+// exchange issues the pending subset of ids over rc as granted tagged
+// requests and waits for their outcomes, harvesting results (including a
+// torn tag's partial answers) into vals/errs. done reports whether every
+// pending block got an answer; otherwise the batch should fail over with
+// the returned error.
+func (r *RemoteReader) exchange(ctx context.Context, rc *rconn, granted int, ids []grid.BlockID,
 	vals [][]float32, errs []error, pending []int) (bool, error) {
-	rc.nextReq++
-	req := rc.nextReq
-	var e enc
-	e.u64(req)
-	e.u32(deadlineMillis(ctx))
-	e.u32(uint32(len(pending)))
-	for _, i := range pending {
-		e.u32(uint32(ids[i]))
+	n := len(pending)
+	tags := granted
+	if tags > n {
+		rc.unreserve(tags - n)
+		tags = n
+	}
+	// Register every tag before writing anything: responses can start
+	// arriving the moment the first frame is flushed.
+	rc.mu.Lock()
+	if rc.dead.Load() {
+		rc.mu.Unlock()
+		rc.tags.Add(-int32(tags)) // conn is out of rotation; no wake needed
+		return false, fmt.Errorf("blocksvc: connection lost before send: %w", faultio.ErrTransient)
+	}
+	// Stack-backed tag bookkeeping for the common case (one or a few tags);
+	// only an unusually deep split spills to the heap.
+	var (
+		reqsArr   [8]*pendingReq
+		startsArr [8]int
+		reqs      = reqsArr[:0]
+		starts    = startsArr[:0]
+	)
+	if tags > len(reqsArr) {
+		reqs = make([]*pendingReq, 0, tags)
+		starts = make([]int, 0, tags)
+	}
+	for t := 0; t < tags; t++ {
+		lo, hi := t*n/tags, (t+1)*n/tags
+		if lo == hi {
+			continue
+		}
+		rc.nextReq++
+		p := &pendingReq{
+			req:  rc.nextReq,
+			ids:  make([]grid.BlockID, hi-lo),
+			vals: make([][]float32, hi-lo),
+			errs: make([]error, hi-lo),
+			done: make(chan struct{}),
+		}
+		for k := range p.ids {
+			p.ids[k] = ids[pending[lo+k]]
+		}
+		rc.pending[p.req] = p
+		reqs = append(reqs, p)
+		starts = append(starts, lo)
+	}
+	rc.mu.Unlock()
+	rc.unreserve(tags - len(reqs))
+
+	e := getEnc()
+	rc.writeMu.Lock()
+	rc.armWrite()
+	var werr error
+	for _, p := range reqs {
+		e.reset()
+		e.u64(p.req)
+		e.u32(deadlineMillis(ctx))
+		e.u32(uint32(len(p.ids)))
+		for _, id := range p.ids {
+			e.u32(uint32(id))
+		}
+		if werr = writeFrame(rc.bw, msgRead, e.b); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		werr = rc.bw.Flush()
+	}
+	rc.writeMu.Unlock()
+	putEnc(e)
+	if werr != nil {
+		// teardown fails every registered tag (including ours); fall
+		// through to the waits, which now resolve immediately.
+		rc.teardown(werr)
 	}
 
-	// A context that ends mid-request must tear the read loop out of its
-	// blocking Read; an expired deadline on the conn does exactly that.
-	stop := context.AfterFunc(ctx, func() {
-		rc.c.SetReadDeadline(time.Unix(1, 0))
-	})
-	defer stop()
-
-	var served, bytes, faults int64
-	defer func() {
-		r.count(func(s *ClientStats) {
-			s.BlocksServed += served
-			s.RemoteFaults += faults
-			s.BytesReceived += bytes
-		})
-	}()
-
-	torn := func(err error) (bool, error) {
+	var lastErr error
+	torn := false
+	for ti, p := range reqs {
+		select {
+		case <-p.done:
+		case <-ctx.Done():
+			// Abandon the exchange but keep whatever already arrived —
+			// for this tag and the ones not yet waited on. Their tags
+			// stay registered; the read loop retires them when the
+			// server answers (it was told our deadline and sheds).
+			for j := ti; j < len(reqs); j++ {
+				r.harvest(reqs[j], starts[j], pending, vals, errs)
+			}
+			return false, ctx.Err()
+		}
+		switch p.outcome {
+		case reqOK:
+			r.harvest(p, starts[ti], pending, vals, errs)
+		case reqShed:
+			lastErr = fmt.Errorf("blocksvc: request shed: %w", faultio.Transient(ErrShed))
+		case reqTorn:
+			r.harvest(p, starts[ti], pending, vals, errs)
+			lastErr = p.err
+			torn = true
+		}
+	}
+	if torn {
 		r.count(func(s *ClientStats) { s.TransportErrors++ })
-		r.drop(rc)
-		if cerr := ctx.Err(); cerr != nil {
-			return false, cerr // the tear was self-inflicted, not the endpoint's fault
-		}
-		r.noteFailure(rc.ep)
-		return false, fmt.Errorf("blocksvc: connection lost: %v: %w", err, faultio.ErrTransient)
 	}
+	done := true
+	for _, i := range pending {
+		if vals[i] == nil && errs[i] == nil {
+			done = false
+			break
+		}
+	}
+	return done, lastErr
+}
 
-	hb := r.connHB(rc)
-	if hb > 0 {
-		rc.c.SetWriteDeadline(time.Now().Add(2 * hb))
-	}
-	if err := writeFrame(rc.bw, msgRead, e.b); err != nil {
-		return torn(err)
-	}
-	if err := rc.bw.Flush(); err != nil {
-		return torn(err)
-	}
-	if hb > 0 {
-		rc.c.SetWriteDeadline(time.Time{})
-	}
-
-	answered := 0
-	for answered < len(pending) {
-		// The server (or its heartbeat loop) must produce some frame within
-		// 2×heartbeat or it is dead. The ctx check narrows the race with the
-		// cancellation AfterFunc overwriting its expired deadline; a lost
-		// race costs one 2×hb wait, not a hang.
-		if hb > 0 && ctx.Err() == nil {
-			rc.c.SetReadDeadline(time.Now().Add(2 * hb))
-		}
-		typ, payload, err := readFrame(rc.br)
-		if err != nil {
-			return torn(err)
-		}
-		d := dec{b: payload}
-		switch typ {
-		case msgBlocks:
-			gotReq := d.u64()
-			idx := int(d.u32())
-			n := int(d.u16())
-			if gotReq != req || idx < 0 || idx+n > len(pending) {
-				return torn(fmt.Errorf("stray blocks frame"))
-			}
-			for k := 0; k < n; k++ {
-				i := pending[idx+k]
-				st := blockStatus(d.u8())
-				if st != statusOK {
-					errs[i] = blockErr(st, ids[i])
-					faults++
-					answered++
-					continue
-				}
-				nb := int(d.u32())
-				raw := d.take(nb)
-				sum := d.u32()
-				if d.bad {
-					return torn(fmt.Errorf("short blocks frame"))
-				}
-				if crc32.Checksum(raw, castagnoli) != sum {
-					r.count(func(s *ClientStats) { s.ChecksumErrors++ })
-					errs[i] = fmt.Errorf("blocksvc: block %d corrupted in transit: %w",
-						ids[i], faultio.Transient(faultio.ErrChecksum))
-					answered++
-					continue
-				}
-				out := make([]float32, nb/4)
-				for j := range out {
-					out[j] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*j:]))
-				}
-				vals[i] = out
-				served++
-				bytes += int64(nb)
-				answered++
-			}
-			if !d.ok() {
-				return torn(fmt.Errorf("bad blocks frame"))
-			}
-		case msgShed:
-			if d.u64() != req || !d.ok() {
-				return torn(fmt.Errorf("stray shed frame"))
-			}
-			r.count(func(s *ClientStats) { s.ShedRequests++ })
-			// Shed is proof of life: the endpoint answered, it is just
-			// over capacity. Feed the breaker success and fail over.
-			r.noteSuccess(rc.ep)
-			stop()
-			r.finishConn(rc)
-			return false, fmt.Errorf("blocksvc: request shed: %w", faultio.Transient(ErrShed))
-		case msgDone:
-			if d.u64() != req || !d.ok() {
-				return torn(fmt.Errorf("stray done frame"))
-			}
-			// Done before every block answered: protocol violation.
-			return torn(fmt.Errorf("done with %d of %d blocks unanswered",
-				len(pending)-answered, len(pending)))
-		case msgPing:
-			token, ok := decodeToken(payload)
-			if !ok {
-				return torn(fmt.Errorf("bad ping"))
-			}
-			var p enc
-			p.u64(token)
-			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
-				return torn(err)
-			}
-			if err := rc.bw.Flush(); err != nil {
-				return torn(err)
-			}
-		case msgPong:
-			// A straggler from keepalive; its arrival already proved life.
-		case msgGoaway:
-			if _, ok := decodeGoaway(payload); !ok {
-				return torn(fmt.Errorf("bad goaway"))
-			}
-			// Finish this exchange — the server serves what is on the wire —
-			// but do not reuse the conn or prefer this endpoint again.
-			rc.goaway = true
-			rc.ep.draining.Store(true)
-			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
-		case msgError:
-			return torn(fmt.Errorf("server error: %s", payload))
-		default:
-			return torn(fmt.Errorf("unexpected message type %d", typ))
+// harvest copies a tag's answered blocks into the batch's result arrays.
+// Taken under the tag's lock: the read loop may still be filling a torn or
+// abandoned tag's late arrivals.
+func (r *RemoteReader) harvest(p *pendingReq, start int, pending []int,
+	vals [][]float32, errs []error) {
+	p.mu.Lock()
+	for k := range p.ids {
+		i := pending[start+k]
+		if p.vals[k] != nil {
+			vals[i] = p.vals[k]
+		} else if p.errs[k] != nil {
+			errs[i] = p.errs[k]
 		}
 	}
-	// Consume the trailing done frame so the connection is clean for reuse.
-	for {
-		typ, payload, err := readFrame(rc.br)
-		if err != nil {
-			return torn(err)
-		}
-		d := dec{b: payload}
-		switch typ {
-		case msgDone:
-			if d.u64() != req || !d.ok() {
-				return torn(fmt.Errorf("stray done frame"))
-			}
-			r.noteSuccess(rc.ep)
-			// Clear any cancellation deadline the AfterFunc may have armed
-			// so the connection is reusable.
-			stop()
-			r.finishConn(rc)
-			return true, nil
-		case msgPing:
-			token, ok := decodeToken(payload)
-			if !ok {
-				return torn(fmt.Errorf("bad ping"))
-			}
-			var p enc
-			p.u64(token)
-			if err := writeFrame(rc.bw, msgPong, p.b); err != nil {
-				return torn(err)
-			}
-			if err := rc.bw.Flush(); err != nil {
-				return torn(err)
-			}
-		case msgGoaway:
-			if _, ok := decodeGoaway(payload); !ok {
-				return torn(fmt.Errorf("bad goaway"))
-			}
-			rc.goaway = true
-			rc.ep.draining.Store(true)
-			r.count(func(s *ClientStats) { s.GoawaysReceived++ })
-		default:
-			return torn(fmt.Errorf("expected done frame, got type %d", typ))
-		}
-	}
+	p.mu.Unlock()
 }
 
 // SendView tells the server where this session's camera is, driving its
 // predictive prefetch into the shared cache. Best-effort: an error only
 // means the hint was lost.
 func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
-	rc, err := r.acquire(ctx, nil)
+	rc, _, err := r.acquire(ctx, nil, 0)
 	if err != nil {
 		return err
 	}
-	var e enc
+	e := getEnc()
 	e.u64(math.Float64bits(pos.X))
 	e.u64(math.Float64bits(pos.Y))
 	e.u64(math.Float64bits(pos.Z))
-	if err := writeFrame(rc.bw, msgView, e.b); err != nil {
-		r.noteFailure(rc.ep)
-		r.drop(rc)
-		return err
+	rc.writeMu.Lock()
+	rc.armWrite()
+	werr := writeFrame(rc.bw, msgView, e.b)
+	if werr == nil {
+		werr = rc.bw.Flush()
 	}
-	if err := rc.bw.Flush(); err != nil {
-		r.noteFailure(rc.ep)
-		r.drop(rc)
-		return err
+	rc.writeMu.Unlock()
+	putEnc(e)
+	if werr != nil {
+		rc.teardown(werr)
+		return werr
 	}
 	r.count(func(s *ClientStats) { s.ViewUpdates++ })
-	r.finishConn(rc)
 	return nil
 }
 

@@ -15,27 +15,37 @@ import (
 // short, oversized, or trailing-garbage payload and never panics or
 // allocates proportionally to an unvalidated declared count.
 
-// helloMsg is the decoded client hello.
+// helloMsg is the decoded client hello. Caps is present only when the
+// client speaks v4 or later; a v3 hello with trailing bytes is malformed.
 type helloMsg struct {
 	Magic   uint32
 	Version uint16
+	Caps    uint32
 }
 
 func decodeHello(payload []byte) (helloMsg, bool) {
 	d := dec{b: payload}
 	m := helloMsg{Magic: d.u32(), Version: d.u16()}
+	if !d.bad && m.Version >= 4 {
+		m.Caps = d.u32()
+	}
 	if !d.ok() {
 		return helloMsg{}, false
 	}
 	return m, true
 }
 
-// welcomeMsg is the decoded server welcome.
+// welcomeMsg is the decoded server welcome. Caps and MaxRequests are the
+// v4 extension; the client tolerates their absence even from a
+// version-4-tagged welcome (older test doubles and tooling hand-build the
+// v3 shape), defaulting to no capabilities and one request in flight.
 type welcomeMsg struct {
 	Version         uint16
 	Session         uint64
 	Header          store.Header
 	HeartbeatMillis uint32 // server's liveness cadence; 0 = disabled
+	Caps            uint32 // negotiated capability bits (v4+; 0 otherwise)
+	MaxRequests     uint32 // pipelined requests the server allows per conn
 }
 
 func decodeWelcome(payload []byte) (welcomeMsg, bool) {
@@ -49,6 +59,14 @@ func decodeWelcome(payload []byte) (welcomeMsg, bool) {
 		Version:  int32(d.u32()),
 	}
 	m.HeartbeatMillis = d.u32()
+	m.MaxRequests = 1
+	if m.Version >= 4 && !d.bad && len(d.b) > 0 {
+		m.Caps = d.u32()
+		m.MaxRequests = d.u32()
+		if m.MaxRequests == 0 {
+			m.MaxRequests = 1
+		}
+	}
 	if !d.ok() {
 		return welcomeMsg{}, false
 	}

@@ -3,6 +3,7 @@ package blocksvc
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"io"
 	"math"
 	"runtime"
@@ -23,9 +24,21 @@ func frameBytes(t testing.TB, typ byte, payload []byte) []byte {
 // message, so the fuzzer starts from the interesting corners of the format
 // instead of rediscovering the header layout.
 func seedFrames(t testing.TB) [][]byte {
+	var hello3 enc
+	hello3.u32(protoMagic)
+	hello3.u16(ProtoVersionMin) // v3 hello: no capability word
+
 	var hello enc
 	hello.u32(protoMagic)
 	hello.u16(ProtoVersion)
+	hello.u32(clientCaps)
+
+	var welcome3 enc
+	welcome3.u16(ProtoVersionMin)
+	welcome3.u64(7)
+	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3, 5000} {
+		welcome3.u32(v)
+	}
 
 	var welcome enc
 	welcome.u16(ProtoVersion)
@@ -33,6 +46,37 @@ func seedFrames(t testing.TB) [][]byte {
 	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3, 5000} {
 		welcome.u32(v)
 	}
+	welcome.u32(capCompress) // negotiated caps
+	welcome.u32(4)           // pipelining allowance
+
+	// v4 blocks frame: one raw and one DEFLATE entry, checksummed like the
+	// server writes them — plus a liar that declares a huge decoded size.
+	raw := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	var blocks4 enc
+	blocks4.u64(9)
+	blocks4.u32(0)
+	blocks4.u16(2)
+	blocks4.u8(byte(statusOK))
+	blocks4.u8(codecRaw)
+	blocks4.u32(uint32(len(raw)))
+	blocks4.raw(raw)
+	blocks4.u32(crc32.Checksum(raw, castagnoli))
+	blocks4.u8(byte(statusOK))
+	blocks4.u8(codecFlate)
+	blocks4.u32(1 << 30) // lying rawBytes: decode layers must bound, not trust
+	blocks4.u32(uint32(len(raw)))
+	blocks4.raw(raw)
+	blocks4.u32(crc32.Checksum(raw, castagnoli))
+
+	// v3 blocks frame: status + nbytes + payload + crc, no codec byte.
+	var blocks3 enc
+	blocks3.u64(9)
+	blocks3.u32(0)
+	blocks3.u16(1)
+	blocks3.u8(byte(statusOK))
+	blocks3.u32(uint32(len(raw)))
+	blocks3.raw(raw)
+	blocks3.u32(crc32.Checksum(raw, castagnoli))
 
 	var ping enc
 	ping.u64(99)
@@ -54,8 +98,12 @@ func seedFrames(t testing.TB) [][]byte {
 	view.u64(math.Float64bits(8))
 
 	return [][]byte{
+		frameBytes(t, msgHello, hello3.b),
 		frameBytes(t, msgHello, hello.b),
+		frameBytes(t, msgWelcome, welcome3.b),
 		frameBytes(t, msgWelcome, welcome.b),
+		frameBytes(t, msgBlocks, blocks4.b),
+		frameBytes(t, msgBlocks, blocks3.b),
 		frameBytes(t, msgRead, read.b),
 		frameBytes(t, msgView, view.b),
 		frameBytes(t, msgPing, ping.b),
@@ -105,6 +153,27 @@ func FuzzWireDecode(f *testing.F) {
 			decodeToken(payload)
 		case msgGoaway:
 			decodeGoaway(payload)
+		case msgBlocks:
+			// The demux loop's parser, in both framings. Wire must always
+			// be a view into the payload — the iterator never allocates,
+			// so a lying size header cannot drive allocation here.
+			for _, v4 := range []bool{false, true} {
+				it, ok := blocksHeader(payload, v4)
+				if !ok {
+					continue
+				}
+				for it.next() {
+					if len(it.Wire) > len(payload) {
+						t.Fatalf("entry %d claims %d wire bytes from a %d-byte frame",
+							it.k, len(it.Wire), len(payload))
+					}
+				}
+				// Prelude is 14 bytes and every entry carries ≥1 byte.
+				if it.done() && it.N > len(payload)-14 {
+					t.Fatalf("%d entries parsed cleanly from %d payload bytes",
+						it.N, len(payload))
+				}
+			}
 		}
 	})
 }

@@ -117,6 +117,7 @@ func TestHandshakeWriteDeadline(t *testing.T) {
 	var hello enc
 	hello.u32(protoMagic)
 	hello.u16(ProtoVersion)
+	hello.u32(clientCaps)
 	if err := writeFrame(conn, msgHello, hello.b); err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +153,7 @@ func TestServerDetectsDeadPeer(t *testing.T) {
 	var hello enc
 	hello.u32(protoMagic)
 	hello.u16(ProtoVersion)
+	hello.u32(clientCaps)
 	if err := writeFrame(conn, msgHello, hello.b); err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,10 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	counter("svc.blocks_ok", func(st *ServerStats) int64 { return st.BlocksOK })
 	counter("svc.blocks_failed", func(st *ServerStats) int64 { return st.BlocksFailed })
 	counter("svc.bytes_sent", func(st *ServerStats) int64 { return st.BytesSent })
+	counter("svc.compress.blocks", func(st *ServerStats) int64 { return st.CompressedBlocks })
+	counter("svc.compress.skipped", func(st *ServerStats) int64 { return st.CompressSkipped })
+	counter("svc.compress.bytes_in", func(st *ServerStats) int64 { return st.CompressBytesIn })
+	counter("svc.compress.bytes_out", func(st *ServerStats) int64 { return st.CompressBytesOut })
 	counter("svc.view_updates", func(st *ServerStats) int64 { return st.ViewUpdates })
 	counter("svc.prefetch_issued", func(st *ServerStats) int64 { return st.PrefetchIssued })
 	counter("svc.prefetch_executed", func(st *ServerStats) int64 { return st.PrefetchExecuted })
@@ -95,6 +99,8 @@ func newClientMetrics(r *RemoteReader, reg *obs.Registry) *clientMetrics {
 	counter("client.checksum_errors", func(st *ClientStats) int64 { return st.ChecksumErrors })
 	counter("client.transport_errors", func(st *ClientStats) int64 { return st.TransportErrors })
 	counter("client.bytes_received", func(st *ClientStats) int64 { return st.BytesReceived })
+	counter("client.decompress.blocks", func(st *ClientStats) int64 { return st.DecompressedBlocks })
+	counter("client.decompress.bytes", func(st *ClientStats) int64 { return st.DecompressedBytes })
 	counter("client.view_updates", func(st *ClientStats) int64 { return st.ViewUpdates })
 	counter("client.failovers", func(st *ClientStats) int64 { return st.Failovers })
 	counter("client.goaways_received", func(st *ClientStats) int64 { return st.GoawaysReceived })

@@ -3,6 +3,7 @@ package blocksvc
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -19,6 +20,36 @@ import (
 	"repro/internal/store"
 	"repro/internal/visibility"
 )
+
+// CompressionMode selects which blocks the server offers to DEFLATE on the
+// wire when a v4 client negotiates capCompress.
+type CompressionMode int
+
+const (
+	// CompressOff never compresses (the v3 wire behavior).
+	CompressOff CompressionMode = iota
+	// CompressLowEntropy compresses only blocks whose T_important entropy
+	// score is below the threshold — the paper's ambient blocks, which
+	// DEFLATE collapses at almost no CPU cost — and skips the high-entropy
+	// blocks that would burn cycles for nothing. Requires Config.Imp.
+	CompressLowEntropy
+	// CompressAll compresses every OK block regardless of entropy (kept for
+	// the ablation; the low-entropy policy beats it on mixed fields).
+	CompressAll
+)
+
+// ParseCompressionMode maps the -wire-compress flag values.
+func ParseCompressionMode(s string) (CompressionMode, error) {
+	switch s {
+	case "off":
+		return CompressOff, nil
+	case "low-entropy":
+		return CompressLowEntropy, nil
+	case "all":
+		return CompressAll, nil
+	}
+	return CompressOff, fmt.Errorf("blocksvc: unknown compression mode %q (off, low-entropy, all)", s)
+}
 
 // Config describes what a Server serves and how hard it may be pushed.
 type Config struct {
@@ -67,6 +98,14 @@ type Config struct {
 	// writing the welcome to a peer that never drains its receive buffer
 	// (default 10s).
 	HandshakeTimeout time.Duration
+	// Compression selects the wire codec policy for v4 clients that
+	// negotiate capCompress; v3 clients always get raw payloads. The
+	// default is CompressOff.
+	Compression CompressionMode
+	// CompressThreshold is the entropy score below which
+	// CompressLowEntropy compresses a block; 0 means the median of Imp's
+	// score distribution (resolved once at NewServer).
+	CompressThreshold float64
 	// HeartbeatInterval is the liveness cadence advertised in the welcome:
 	// each session pings the client at this interval and requires some
 	// inbound frame within twice of it, so a dead or wedged peer is torn
@@ -137,6 +176,11 @@ type ServerStats struct {
 	HeartbeatsSent   int64 // pings sent by session liveness loops
 	DeadPeers        int64 // sessions torn down by an expired idle deadline
 	GoawaysSent      int64 // drain announcements delivered
+
+	CompressedBlocks int64 // blocks shipped DEFLATE-compressed
+	CompressSkipped  int64 // candidates sent raw (didn't shrink, or high entropy)
+	CompressBytesIn  int64 // raw payload bytes of compressed blocks
+	CompressBytesOut int64 // wire bytes of compressed blocks
 }
 
 // Server serves block reads to many concurrent sessions from one shared
@@ -160,6 +204,9 @@ type Server struct {
 	// sessions; Drain waits for it to hit zero.
 	activeReqs atomic.Int64
 
+	// zthr is the resolved CompressThreshold (CompressLowEntropy only).
+	zthr float64
+
 	statsMu sync.Mutex
 	stats   ServerStats
 }
@@ -176,6 +223,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Vis != nil && cfg.Imp == nil {
 		return nil, fmt.Errorf("blocksvc: prefetch needs an importance table")
 	}
+	if cfg.Compression == CompressLowEntropy && cfg.Imp == nil {
+		return nil, fmt.Errorf("blocksvc: entropy-aware compression needs an importance table")
+	}
+	zthr := cfg.CompressThreshold
+	if cfg.Compression == CompressLowEntropy && zthr == 0 {
+		zthr = cfg.Imp.ThresholdForQuantile(0.5)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -184,6 +238,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cancel:    cancel,
 		listeners: make(map[net.Listener]struct{}),
 		sessions:  make(map[*session]struct{}),
+		zthr:      zthr,
 	}
 	s.m = newServerMetrics(s, cfg.Metrics)
 	return s, nil
@@ -378,6 +433,17 @@ type session struct {
 	writeMu sync.Mutex // serializes frames of concurrent responses
 	bw      *bufio.Writer
 
+	// Negotiated at handshake: the client's protocol version and the
+	// capability bits both sides advertised.
+	ver  uint16
+	caps uint32
+	// tcp is non-nil when the transport supports vectored writes; zeroCopy
+	// additionally requires that cache buffers are immutable once handed
+	// out (recycling off), so payload views on a net.Buffers can't be
+	// rewritten mid-writev.
+	tcp      *net.TCPConn
+	zeroCopy bool
+
 	reqWG sync.WaitGroup
 
 	inflightMu sync.Mutex
@@ -424,11 +490,18 @@ func (ss *session) run() {
 		ss.reqWG.Add(1)
 		go ss.heartbeatLoop(hb)
 	}
+	var lastArm time.Time
 	for {
 		// Any inbound frame proves the peer is alive; requiring one within
-		// 2×heartbeat bounds how long a dead client can pin this session.
+		// ~2×heartbeat bounds how long a dead client can pin this session.
+		// Re-arming the deadline per frame allocates a timer per demand
+		// batch, so refresh only once half the heartbeat has elapsed —
+		// keeping at least 1.5×hb of slack.
 		if hb > 0 {
-			ss.conn.SetReadDeadline(time.Now().Add(2 * hb))
+			if now := time.Now(); now.Sub(lastArm) > hb/2 {
+				ss.conn.SetReadDeadline(now.Add(2 * hb))
+				lastArm = now
+			}
 		}
 		typ, payload, err := readFrame(ss.br)
 		if err != nil {
@@ -511,14 +584,25 @@ func (ss *session) handshake() error {
 		ss.fail("bad hello")
 		return fmt.Errorf("blocksvc: bad hello")
 	}
-	if hello.Version != ProtoVersion {
-		ss.fail(fmt.Sprintf("protocol version %d unsupported (server speaks %d)",
-			hello.Version, ProtoVersion))
+	if hello.Version < ProtoVersionMin || hello.Version > ProtoVersion {
+		ss.fail(fmt.Sprintf("protocol version %d unsupported (server speaks %d-%d)",
+			hello.Version, ProtoVersionMin, ProtoVersion))
 		return fmt.Errorf("blocksvc: version mismatch")
 	}
+	// Answer in the client's version: a v3 client gets the exact v3 welcome
+	// and wire framing it has always seen; a v4 client additionally gets the
+	// intersected capability bits and its pipelining allowance.
+	ss.ver = hello.Version
+	serverCaps := uint32(0)
+	if ss.s.cfg.Compression != CompressOff {
+		serverCaps |= capCompress
+	}
+	ss.caps = hello.Caps & serverCaps
+	ss.tcp, _ = ss.conn.(*net.TCPConn)
+	ss.zeroCopy = ss.tcp != nil && hostLittleEndian && !ss.s.cfg.Cache.RecyclingEnabled()
 	h := ss.s.cfg.Header
 	var e enc
-	e.u16(ProtoVersion)
+	e.u16(ss.ver)
 	e.u64(ss.id)
 	e.u32(uint32(h.Res.X))
 	e.u32(uint32(h.Res.Y))
@@ -530,6 +614,10 @@ func (ss *session) handshake() error {
 	e.u32(uint32(h.Blocks))
 	e.u32(uint32(h.Version))
 	e.u32(uint32(ss.s.cfg.heartbeat() / time.Millisecond))
+	if ss.ver >= 4 {
+		e.u32(ss.caps)
+		e.u32(uint32(ss.s.cfg.MaxSessionRequests))
+	}
 	if err := ss.send(msgWelcome, e.b); err != nil {
 		return err
 	}
@@ -621,9 +709,12 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 		return
 	}
 	admitStart := time.Now()
-	admitCtx, admitCancel := context.WithTimeout(reqCtx, ss.s.cfg.MaxQueueWait)
-	err := ss.s.sem.Acquire(admitCtx, bytes)
-	admitCancel()
+	var err error
+	if !ss.s.sem.TryAcquire(bytes) {
+		admitCtx, admitCancel := context.WithTimeout(reqCtx, ss.s.cfg.MaxQueueWait)
+		err = ss.s.sem.Acquire(admitCtx, bytes)
+		admitCancel()
+	}
 	wait := time.Since(admitStart).Nanoseconds()
 	if err != nil {
 		if ss.ctx.Err() != nil {
@@ -643,8 +734,12 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 
 	// Serve and stream in runs of roughly ResponseRunBytes: results reach
 	// the client as they are produced and one request never stages the
-	// whole response in memory.
-	var e enc
+	// whole response in memory. Staging is pooled across requests and
+	// sessions, so the steady state regrows nothing. Each concurrently
+	// served request owns its own scratch — sessions pipeline.
+	rs := getRunScratch()
+	defer putRunScratch(rs)
+	e := &rs.e
 	idx := 0
 	for idx < len(ids) {
 		runEnd := idx
@@ -659,20 +754,108 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 		}
 		run := ids[idx:runEnd]
 		vals, _, errs := ss.s.cfg.Cache.GetBatch(reqCtx, run)
-		if !ss.sendRun(&e, req, idx, run, vals, errs) {
+		if !ss.sendRun(rs, req, idx, run, vals, errs) {
 			return // write failed: connection is torn, stop serving
 		}
 		idx = runEnd
 	}
-	var done enc
-	done.u64(req)
-	ss.send(msgDone, done.b)
+	e.reset()
+	e.u64(req)
+	ss.send(msgDone, e.b)
 }
 
-// sendRun encodes one run of results as blocks frames and ships them.
-func (ss *session) sendRun(e *enc, req uint64, firstIdx int, ids []grid.BlockID,
+// compressBlock reports whether the compression policy selects this block.
+func (ss *session) compressBlock(id grid.BlockID) bool {
+	switch ss.s.cfg.Compression {
+	case CompressAll:
+		return true
+	case CompressLowEntropy:
+		return ss.s.cfg.Imp.Score(id) < ss.s.zthr
+	}
+	return false
+}
+
+// sliceWriter adapts a reusable byte slice to io.Writer for the pooled
+// flate encoder.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// runScratch is everything one in-flight request needs to encode its
+// response runs: frame staging, flate output, and the writev assembly.
+// Pooled per request — a session serves up to MaxSessionRequests
+// concurrently, so this state cannot live on the session.
+type runScratch struct {
+	e    enc
+	z    sliceWriter // flate output staging
+	cuts []int       // sendRunVec: staging offsets where payloads insert
+	pays [][]byte    // sendRunVec: payload views, parallel to cuts
+	bufs net.Buffers // sendRunVec: assembled iovec
+}
+
+var runScratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+func getRunScratch() *runScratch {
+	rs := runScratchPool.Get().(*runScratch)
+	rs.e.reset()
+	return rs
+}
+
+func putRunScratch(rs *runScratch) { runScratchPool.Put(rs) }
+
+// flateInto compresses vals and appends a codecFlate entry to e when the
+// compressed form is actually smaller, returning the wire byte count; a
+// block that refuses to shrink leaves e untouched and falls back to raw.
+func (rs *runScratch) flateInto(vals []float32) (int, bool) {
+	rs.z.b = rs.z.b[:0]
+	fw := getFlateWriter(&rs.z)
+	var err error
+	if src := f32leBytes(vals); src != nil {
+		_, err = fw.Write(src)
+	} else {
+		var tmp [4]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+			if _, err = fw.Write(tmp[:]); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = fw.Close()
+	}
+	putFlateWriter(fw)
+	raw := len(vals) * 4
+	wire := len(rs.z.b)
+	if err != nil || wire >= raw {
+		return 0, false
+	}
+	e := &rs.e
+	e.u8(codecFlate)
+	e.u32(uint32(raw))
+	e.u32(uint32(wire))
+	e.raw(rs.z.b)
+	e.u32(crc32.Checksum(rs.z.b, castagnoli))
+	return wire, true
+}
+
+// sendRun encodes one run of results as a blocks frame and ships it. v4
+// sessions get a per-block codec byte and, when negotiated, DEFLATE
+// payloads for the blocks the policy selects; on a TCP transport with
+// cache recycling off, an uncompressed run skips payload staging entirely
+// and goes out as one vectored write (sendRunVec).
+func (ss *session) sendRun(rs *runScratch, req uint64, firstIdx int, ids []grid.BlockID,
 	vals [][]float32, errs []error) bool {
+	compress := ss.ver >= 4 && ss.caps&capCompress != 0 && ss.s.cfg.Compression != CompressOff
+	if ss.zeroCopy && !compress {
+		return ss.sendRunVec(rs, req, firstIdx, ids, vals, errs)
+	}
 	var okCount, failCount, sent int64
+	var zBlocks, zSkipped, zIn, zOut int64
+	e := &rs.e
 	e.reset()
 	e.u64(req)
 	e.u32(uint32(firstIdx))
@@ -685,21 +868,115 @@ func (ss *session) sendRun(e *enc, req uint64, firstIdx int, ids []grid.BlockID,
 		}
 		okCount++
 		e.u8(byte(statusOK))
-		off := len(e.b)
-		e.u32(uint32(len(vals[i]) * 4))
-		for _, v := range vals[i] {
-			e.u32(math.Float32bits(v))
+		raw := len(vals[i]) * 4
+		if compress && ss.compressBlock(ids[i]) {
+			if wire, ok := rs.flateInto(vals[i]); ok {
+				zBlocks++
+				zIn += int64(raw)
+				zOut += int64(wire)
+				sent += int64(wire)
+				continue
+			}
+			zSkipped++
 		}
+		if ss.ver >= 4 {
+			e.u8(codecRaw)
+		}
+		off := len(e.b)
+		e.u32(uint32(raw))
+		e.b = appendF32LE(e.b, vals[i])
 		e.u32(crc32.Checksum(e.b[off+4:], castagnoli))
-		sent += int64(len(vals[i]) * 4)
+		sent += int64(raw)
 	}
 	ss.s.count(func(st *ServerStats) {
 		st.Blocks += int64(len(ids))
 		st.BlocksOK += okCount
 		st.BlocksFailed += failCount
 		st.BytesSent += sent
+		st.CompressedBlocks += zBlocks
+		st.CompressSkipped += zSkipped
+		st.CompressBytesIn += zIn
+		st.CompressBytesOut += zOut
 	})
 	return ss.send(msgBlocks, e.b) == nil
+}
+
+// sendRunVec ships one run as a single vectored write: staging holds only
+// the frame header and per-block metadata, while every OK payload segment
+// is a view straight into the cache-owned float32 slice (immutable here —
+// zeroCopy requires recycling off). One writev, zero payload copies.
+func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []grid.BlockID,
+	vals [][]float32, errs []error) bool {
+	e := &rs.e
+	var okCount, failCount, sent int64
+	total := 8 + 4 + 2
+	for i := range ids {
+		total++ // status byte
+		if errs[i] == nil {
+			if ss.ver >= 4 {
+				total++ // codec byte
+			}
+			total += 4 + len(vals[i])*4 + 4
+		}
+	}
+	if total > maxFrameBytes {
+		return false
+	}
+	// Staging layout: frame header, then meta runs split at each payload
+	// insertion point. Offsets (not views) are recorded during encoding so
+	// staging growth can't invalidate anything.
+	e.reset()
+	e.u32(uint32(total))
+	e.u8(msgBlocks)
+	e.u64(req)
+	e.u32(uint32(firstIdx))
+	e.u16(uint16(len(ids)))
+	cuts := rs.cuts[:0]
+	pays := rs.pays[:0]
+	for i := range ids {
+		if errs[i] != nil {
+			failCount++
+			e.u8(byte(statusOf(errs[i])))
+			continue
+		}
+		okCount++
+		e.u8(byte(statusOK))
+		if ss.ver >= 4 {
+			e.u8(codecRaw)
+		}
+		pay := f32leBytes(vals[i])
+		e.u32(uint32(len(pay)))
+		cuts = append(cuts, len(e.b))
+		pays = append(pays, pay)
+		e.u32(crc32.Checksum(pay, castagnoli))
+		sent += int64(len(pay))
+	}
+	bufs := rs.bufs[:0]
+	prev := 0
+	for k, cut := range cuts {
+		bufs = append(bufs, e.b[prev:cut], pays[k])
+		prev = cut
+	}
+	if prev < len(e.b) {
+		bufs = append(bufs, e.b[prev:])
+	}
+	rs.cuts, rs.pays = cuts, pays
+	ss.s.count(func(st *ServerStats) {
+		st.Blocks += int64(len(ids))
+		st.BlocksOK += okCount
+		st.BlocksFailed += failCount
+		st.BytesSent += sent
+	})
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	if err := ss.bw.Flush(); err != nil {
+		return false
+	}
+	// Keep the assembled array for the next run before WriteTo consumes the
+	// local header.
+	rs.bufs = bufs[:0]
+	_, err := bufs.WriteTo(ss.tcp)
+	return err == nil
 }
 
 // handleView updates the session's predicted working set: the client's
@@ -796,6 +1073,19 @@ func (s *byteSem) InUse() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.capacity - s.avail
+}
+
+// TryAcquire takes n units only if they are free right now (and no earlier
+// request is queued), so the uncontended hot path skips the deadline
+// machinery Acquire's ctx needs.
+func (s *byteSem) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	ok := len(s.waiters) == 0 && s.avail >= n
+	if ok {
+		s.avail -= n
+	}
+	s.mu.Unlock()
+	return ok
 }
 
 // Acquire takes n units, waiting FIFO behind earlier requests, until ctx

@@ -13,14 +13,19 @@
 // the served volume's geometry and a server-assigned session id), after
 // which the client sends read requests and view updates:
 //
-//	hello   c→s  magic u32, version u16
+//	hello   c→s  magic u32, version u16 [, caps u32 when version ≥ 4]
 //	welcome s→c  version u16, session u64, res 3×u32, block 3×u32,
 //	             variable u32, blocks u32, storeVersion u32,
 //	             heartbeatMillis u32 (0 = liveness disabled)
+//	             [, caps u32, maxRequests u32 when version ≥ 4]
 //	read    c→s  req u64, deadlineMillis u32, n u32, n×u32 block ids
 //	view    c→s  camera position 3×f64 (no response; drives server prefetch)
 //	blocks  s→c  req u64, firstIdx u32, n u16, then per block:
-//	             status u8 [+ nbytes u32, payload, crc32c u32 when OK]
+//	             v3: status u8 [+ nbytes u32, payload, crc32c u32 when OK]
+//	             v4: status u8 [+ codec u8, then
+//	                 raw:   nbytes u32, payload, crc32c u32
+//	                 flate: rawBytes u32, wireBytes u32, compressed payload,
+//	                        crc32c u32 (over the compressed bytes)  when OK]
 //	done    s→c  req u64 (every requested index has been answered)
 //	shed    s→c  req u64 (request refused by admission control; retryable)
 //	error   s→c  message string (fatal protocol error; connection closes)
@@ -34,6 +39,22 @@
 // Block payloads are raw little-endian float32 voxels guarded by a CRC32C
 // so in-transit corruption is detected at the client and classified as a
 // retryable checksum fault.
+//
+// # Protocol v4: pipelining and entropy-aware compression
+//
+// The req field has always tagged responses back to their request; v4 makes
+// that tagging load-bearing: a client may keep several tagged read requests
+// in flight on one connection (up to the welcome's maxRequests) and the
+// server's responses interleave at frame granularity, demuxed client-side
+// by req. v4 also negotiates an optional wire codec via the hello/welcome
+// caps bits (capCompress): when both sides advertise it, the server may
+// DEFLATE-compress individual block payloads — choosing blocks by entropy,
+// since the paper's T_important already knows which blocks are low-entropy
+// ambient data that compresses extremely well — and says so in a per-block
+// codec byte. A compressed block carries its decoded size first, which the
+// client validates against the block geometry before allocating, so a lying
+// size header cannot over-allocate. A v3 peer negotiates the old framing
+// exactly as before; both sides stay bidirectionally compatible.
 //
 // # Liveness and lifecycle
 //
@@ -58,24 +79,46 @@
 package blocksvc
 
 import (
+	"compress/flate"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
+	"sync"
+	"unsafe"
 
 	"repro/internal/faultio"
 	"repro/internal/grid"
 )
 
-// Protocol identity. The version is negotiated at hello/welcome: a server
-// refuses a client whose version it does not speak, with msgError.
-// Version 3 added liveness (ping/pong + welcome heartbeat field) and
-// drain (goaway); there was no released version 2.
+// Protocol identity. The version is negotiated at hello/welcome: the server
+// answers in the client's version when it speaks it (ProtoVersionMin through
+// ProtoVersion) and refuses anything else with msgError. Version 3 added
+// liveness (ping/pong + welcome heartbeat field) and drain (goaway); there
+// was no released version 2. Version 4 added capability negotiation,
+// pipelined tagged requests, and the per-block wire codec.
 const (
-	protoMagic   uint32 = 0x62737663 // "bsvc"
-	ProtoVersion uint16 = 3
+	protoMagic      uint32 = 0x62737663 // "bsvc"
+	ProtoVersion    uint16 = 4
+	ProtoVersionMin uint16 = 3
+)
+
+// Capability bits exchanged in the v4 hello/welcome. A capability is in
+// effect only when both sides advertise it.
+const (
+	capCompress uint32 = 1 << 0 // per-block DEFLATE wire codec
+)
+
+// clientCaps is what this client implementation advertises.
+const clientCaps = capCompress
+
+// Per-block payload codecs (v4 blocks frames).
+const (
+	codecRaw   byte = 0 // little-endian float32 voxels, as in v3
+	codecFlate byte = 1 // DEFLATE-compressed little-endian float32 voxels
 )
 
 // Message types.
@@ -301,3 +344,169 @@ func (d *dec) u64() uint64 {
 // ok reports whether every field decoded and the payload was fully
 // consumed (trailing garbage is a protocol error too).
 func (d *dec) ok() bool { return !d.bad && len(d.b) == 0 }
+
+// encPool recycles frame-staging encoders between requests: the server's
+// run encoder and the client's request writer both draw from it, so a
+// steady stream of frames reuses a few grown buffers instead of regrowing
+// staging per exchange. Capacity is naturally bounded by the largest run
+// (ResponseRunBytes plus per-block overhead).
+var encPool = sync.Pool{New: func() any { return new(enc) }}
+
+func getEnc() *enc  { e := encPool.Get().(*enc); e.reset(); return e }
+func putEnc(e *enc) { encPool.Put(e) }
+
+// readFrameBuf reads one frame like readFrame but decodes into buf when its
+// capacity suffices, so a long-lived reader loop amortizes its receive
+// buffer across frames. Declared lengths beyond cap(buf) fall back to
+// readPayload, preserving the chunked-growth bound against hostile length
+// prefixes. The returned payload aliases buf (or the freshly grown buffer);
+// the caller passes it back in as the next call's buf once done with it.
+func readFrameBuf(r io.Reader, buf []byte) (byte, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("blocksvc: frame length %d exceeds limit", n)
+	}
+	if int(n) <= cap(buf) {
+		payload := buf[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+		return hdr[4], payload, nil
+	}
+	payload, err := readPayload(r, int(n))
+	if err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// blocksIter walks a blocks frame's per-block entries without allocating.
+// The client's demux loop and the fuzz target share it, so the parser that
+// faces untrusted network input is exactly the code under fuzz. Wire is a
+// view into the frame payload and is only valid until the next call.
+type blocksIter struct {
+	d     dec
+	v4    bool
+	Req   uint64
+	First int
+	N     int
+	k     int
+
+	Status blockStatus
+	Codec  byte
+	RawLen int    // declared decoded byte count (== len(Wire) for codecRaw)
+	Wire   []byte // payload bytes as they appear on the wire
+	Sum    uint32 // CRC32C over Wire
+}
+
+// blocksHeader parses a blocks frame's prelude; ok=false on a short payload.
+func blocksHeader(payload []byte, v4 bool) (blocksIter, bool) {
+	it := blocksIter{d: dec{b: payload}, v4: v4}
+	it.Req = it.d.u64()
+	it.First = int(it.d.u32())
+	it.N = int(it.d.u16())
+	if it.d.bad {
+		return blocksIter{}, false
+	}
+	return it, true
+}
+
+// next advances to the next entry, returning false at the end of the frame
+// or on a malformed entry — distinguish with done().
+func (it *blocksIter) next() bool {
+	if it.k >= it.N || it.d.bad {
+		return false
+	}
+	it.k++
+	it.Status = blockStatus(it.d.u8())
+	it.Codec, it.Wire, it.Sum, it.RawLen = codecRaw, nil, 0, 0
+	if it.Status != statusOK {
+		return !it.d.bad
+	}
+	if it.v4 {
+		it.Codec = it.d.u8()
+	}
+	switch it.Codec {
+	case codecRaw:
+		n := int(it.d.u32())
+		it.RawLen = n
+		it.Wire = it.d.take(n)
+	case codecFlate:
+		it.RawLen = int(it.d.u32())
+		it.Wire = it.d.take(int(it.d.u32()))
+	default:
+		it.d.bad = true
+	}
+	it.Sum = it.d.u32()
+	return !it.d.bad
+}
+
+// done reports whether the frame parsed cleanly: every declared entry
+// consumed and nothing trailing.
+func (it *blocksIter) done() bool { return it.k == it.N && it.d.ok() }
+
+// hostLittleEndian gates the zero-copy float32↔byte fast paths: on a
+// little-endian host the wire encoding is the in-memory encoding.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f32leBytes returns vals' wire bytes as a view of the same memory on
+// little-endian hosts, and nil elsewhere (callers fall back to a
+// conversion loop). The view must not outlive the slice's next write.
+func f32leBytes(vals []float32) []byte {
+	if !hostLittleEndian || len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*4)
+}
+
+// appendF32LE appends vals' wire encoding to b: one bulk copy on
+// little-endian hosts, a per-value conversion elsewhere.
+func appendF32LE(b []byte, vals []float32) []byte {
+	if raw := f32leBytes(vals); raw != nil {
+		return append(b, raw...)
+	}
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+// copyF32LE decodes wire bytes into dst (len(src) must be 4*len(dst)):
+// one bulk copy on little-endian hosts, a per-value conversion elsewhere.
+func copyF32LE(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*4), src)
+		return
+	}
+	for j := range dst {
+		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*j:]))
+	}
+}
+
+// flateLevel is the wire codec's compression setting: BestSpeed, because
+// the codec is only applied to low-entropy blocks where even the fastest
+// setting compresses extremely well.
+const flateLevel = flate.BestSpeed
+
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flateLevel)
+	return w
+}}
+
+func getFlateWriter(w io.Writer) *flate.Writer {
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(w)
+	return fw
+}
+
+func putFlateWriter(fw *flate.Writer) { flateWriterPool.Put(fw) }

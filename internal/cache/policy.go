@@ -43,9 +43,30 @@ type node struct {
 }
 
 // list is a minimal doubly linked list with sentinel, front = eviction side.
+// Removed nodes go on a free chain so a steady churn of evict+insert (a
+// cache at capacity) reuses nodes instead of allocating one per insertion.
 type list struct {
 	head, tail *node
 	size       int
+	free       *node
+}
+
+// get returns a recycled node carrying id, allocating only when the free
+// chain is empty.
+func (l *list) get(id grid.BlockID) *node {
+	n := l.free
+	if n == nil {
+		return &node{id: id}
+	}
+	l.free = n.next
+	n.id, n.prev, n.next = id, nil, nil
+	return n
+}
+
+// put pushes an unlinked node onto the free chain.
+func (l *list) put(n *node) {
+	n.prev, n.next = nil, l.free
+	l.free = n
 }
 
 func newList() *list {
@@ -110,7 +131,7 @@ func (f *FIFO) Insert(id grid.BlockID) {
 	if _, ok := f.nodes[id]; ok {
 		return // FIFO position is fixed at first insertion
 	}
-	n := &node{id: id}
+	n := f.order.get(id)
 	f.nodes[id] = n
 	f.order.pushBack(n)
 }
@@ -125,6 +146,7 @@ func (f *FIFO) Remove(id grid.BlockID) {
 		return
 	}
 	f.order.remove(n)
+	f.order.put(n)
 	delete(f.nodes, id)
 }
 
@@ -170,7 +192,7 @@ func (l *LRU) Insert(id grid.BlockID) {
 		l.order.pushBack(n)
 		return
 	}
-	n := &node{id: id}
+	n := l.order.get(id)
 	l.nodes[id] = n
 	l.order.pushBack(n)
 }
@@ -190,6 +212,7 @@ func (l *LRU) Remove(id grid.BlockID) {
 		return
 	}
 	l.order.remove(n)
+	l.order.put(n)
 	delete(l.nodes, id)
 }
 

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,11 @@ type Options struct {
 	// DemandWorkers sizes the persistent demand pool: the maximum number of
 	// concurrent miss batches/retries per runtime (default GOMAXPROCS).
 	DemandWorkers int
+	// DemandChunks caps how many contiguous batches a frame's miss set is
+	// split into (default DemandWorkers). Lower it below DemandWorkers when
+	// the backing reader multiplexes requests itself (a pipelining
+	// RemoteReader) and per-batch overhead outweighs extra read parallelism.
+	DemandChunks int
 	// PrefetchWorkers bounds background prefetch goroutines (default 2).
 	PrefetchWorkers int
 	// QueueDepth bounds the pending-prefetch queue; when full, further
@@ -76,6 +82,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.DemandWorkers <= 0 {
 		o.DemandWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.DemandChunks <= 0 || o.DemandChunks > o.DemandWorkers {
+		o.DemandChunks = o.DemandWorkers
 	}
 	if o.PrefetchWorkers <= 0 {
 		o.PrefetchWorkers = 2
@@ -390,6 +399,11 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 			out[i] = vals
 			local.DemandHits++
 		} else {
+			if missIdx == nil {
+				// Worst case every remaining block is a miss; one
+				// allocation instead of append's doubling ladder.
+				missIdx = make([]int, 0, len(visible)-i)
+			}
 			missIdx = append(missIdx, i)
 		}
 	}
@@ -397,11 +411,11 @@ func (r *Runtime) Frame(ctx context.Context, pos vec.V3, visible []grid.BlockID)
 	if len(missIdx) > 0 {
 		// Misses in block-ID order are file order; contiguous chunks keep
 		// each batch mergeable into sequential I/O.
-		sort.Slice(missIdx, func(a, b int) bool {
-			return visible[missIdx[a]] < visible[missIdx[b]]
+		slices.SortFunc(missIdx, func(a, b int) int {
+			return int(visible[a]) - int(visible[b])
 		})
 		fs := &frameState{ctx: ctx, r: r, out: out, rep: &rep}
-		chunks := r.opts.DemandWorkers
+		chunks := r.opts.DemandChunks
 		if chunks > len(missIdx) {
 			chunks = len(missIdx)
 		}

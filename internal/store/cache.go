@@ -21,12 +21,23 @@ import (
 	"repro/internal/obs"
 )
 
-// call is one in-flight backing-store read that concurrent requesters for
-// the same block share. done is closed once vals/err are set.
+// call is one in-flight backing-store read covering one or more blocks;
+// concurrent requesters for any of its blocks share it. done is closed
+// once vals/errs are set — a whole miss batch shares one call (and one
+// channel), so a fully-missing batch costs two allocations, not two per
+// block. Waiters find their block through an inflightRef.
 type call struct {
 	done chan struct{}
-	vals []float32
-	err  error
+	vals [][]float32
+	errs []error
+}
+
+// inflightRef points a block at its position within a shared in-flight
+// call. Stored by value in the inflight map: registering a lead allocates
+// nothing beyond map growth.
+type inflightRef struct {
+	cl *call
+	k  int
 }
 
 // MemCache caches decoded blocks in memory. Safe for concurrent use.
@@ -40,7 +51,7 @@ type MemCache struct {
 	mu       sync.Mutex
 	policy   cache.Policy
 	data     map[grid.BlockID][]float32
-	inflight map[grid.BlockID]*call
+	inflight map[grid.BlockID]inflightRef
 	used     int64
 	recycle  bool
 	onEvict  func(id grid.BlockID, vals []float32)
@@ -80,7 +91,7 @@ func NewMemCache(r BlockReader, capacity int64, p cache.Policy) (*MemCache, erro
 		capacity: capacity,
 		policy:   p,
 		data:     make(map[grid.BlockID][]float32),
-		inflight: make(map[grid.BlockID]*call),
+		inflight: make(map[grid.BlockID]inflightRef),
 	}
 	if br, ok := r.(BatchBlockReader); ok {
 		c.batch = br
@@ -101,6 +112,16 @@ func (c *MemCache) EnableRecycling() {
 	c.mu.Lock()
 	c.recycle = c.recycler != nil
 	c.mu.Unlock()
+}
+
+// RecyclingEnabled reports whether evicted buffers are being reused. When
+// false, a slice handed out by Get/GetBatch is immutable for its lifetime —
+// the property zero-copy consumers (vectored writes of cache-owned memory)
+// rely on.
+func (c *MemCache) RecyclingEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recycle
 }
 
 // OnEvict registers a callback invoked for every block the replacement
@@ -129,42 +150,46 @@ func (c *MemCache) read(ctx context.Context, id grid.BlockID) ([]float32, error)
 
 // wait blocks until the shared call completes or ctx is done, counting a
 // successful shared result as a coalesced hit.
-func (c *MemCache) wait(ctx context.Context, cl *call) ([]float32, error) {
+func (c *MemCache) wait(ctx context.Context, ref inflightRef) ([]float32, error) {
 	select {
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-cl.done:
+	case <-ref.cl.done:
 	}
-	if cl.err != nil {
-		return nil, cl.err
+	if err := ref.cl.errs[ref.k]; err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	c.hits++
 	c.coalesced++
 	c.mu.Unlock()
-	return cl.vals, nil
+	return ref.cl.vals[ref.k], nil
 }
 
-// finish resolves a leader's in-flight call: installs the read block (or
-// adopts a concurrently installed copy), publishes the result to waiters,
-// and removes the in-flight marker. Returns the canonical slice.
-func (c *MemCache) finish(id grid.BlockID, cl *call, vals []float32, err error) []float32 {
+// finish resolves a leader's in-flight call for all its blocks under one
+// lock: installs each read block (or adopts a concurrently installed
+// copy), publishes the results to waiters, and removes the in-flight
+// markers. rvals/rerrs become the call's published results and are
+// canonicalized in place.
+func (c *MemCache) finish(ids []grid.BlockID, cl *call, rvals [][]float32, rerrs []error) {
 	c.mu.Lock()
-	delete(c.inflight, id)
-	if err == nil {
+	for k, id := range ids {
+		delete(c.inflight, id)
+		if rerrs[k] != nil {
+			continue
+		}
 		if existing, ok := c.data[id]; ok {
 			// Unreachable through the coalesced paths (only one reader per
 			// block is in flight), but kept for safety: adopt the installed
 			// copy rather than aliasing two.
-			vals = existing
+			rvals[k] = existing
 		} else {
-			c.install(id, vals)
+			c.install(id, rvals[k])
 		}
 	}
-	cl.vals, cl.err = vals, err
+	cl.vals, cl.errs = rvals, rerrs
 	close(cl.done)
 	c.mu.Unlock()
-	return vals
 }
 
 // GetCached returns the block's voxels only if they are already in memory,
@@ -199,24 +224,24 @@ func (c *MemCache) Get(ctx context.Context, id grid.BlockID) (vals []float32, hi
 		c.mu.Unlock()
 		return vals, true, nil
 	}
-	if cl, ok := c.inflight[id]; ok {
+	if ref, ok := c.inflight[id]; ok {
 		c.mu.Unlock()
-		vals, err := c.wait(ctx, cl)
+		vals, err := c.wait(ctx, ref)
 		return vals, err == nil, err
 	}
 	c.misses++
 	cl := &call{done: make(chan struct{})}
-	c.inflight[id] = cl
+	c.inflight[id] = inflightRef{cl: cl}
 	c.mu.Unlock()
 
 	// Read outside the lock so concurrent misses of different blocks
 	// overlap their disk I/O.
 	vals, err = c.read(ctx, id)
-	vals = c.finish(id, cl, vals, err)
+	c.finish([]grid.BlockID{id}, cl, [][]float32{vals}, []error{err})
 	if err != nil {
 		return nil, false, err
 	}
-	return vals, false, nil
+	return cl.vals[0], false, nil
 }
 
 // GetBatch serves many blocks at once with per-block results: vals[i],
@@ -238,45 +263,63 @@ func (c *MemCache) GetBatch(ctx context.Context, ids []grid.BlockID) (vals [][]f
 
 	var (
 		leadIdx []int                  // first occurrence of each missing id
+		lead    *call                  // one shared in-flight call for every lead
 		dups    map[grid.BlockID][]int // extra occurrences, resolved at the end
-		waiters map[int]*call          // index -> concurrent read to join
+		waiters map[int]inflightRef    // index -> concurrent read to join
 	)
-	seen := make(map[grid.BlockID]int, len(ids))
+	// The hot callers (ooc demand chunks, blocksvc response runs) pass
+	// sorted unique ids; one scan detects that and skips the dedup map —
+	// the only per-call allocation proportional to a fully-hit batch.
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	var seen map[grid.BlockID]int
+	if !sorted {
+		seen = make(map[grid.BlockID]int, len(ids))
+	}
 	c.mu.Lock()
 	for i, id := range ids {
-		if _, ok := seen[id]; ok {
-			if dups == nil {
-				dups = make(map[grid.BlockID][]int)
+		if !sorted {
+			if _, ok := seen[id]; ok {
+				if dups == nil {
+					dups = make(map[grid.BlockID][]int)
+				}
+				dups[id] = append(dups[id], i)
+				continue
 			}
-			dups[id] = append(dups[id], i)
-			continue
+			seen[id] = i
 		}
-		seen[id] = i
 		if v, ok := c.data[id]; ok {
 			c.hits++
 			c.policy.Touch(id)
 			vals[i], hit[i] = v, true
 			continue
 		}
-		if cl, ok := c.inflight[id]; ok {
+		if ref, ok := c.inflight[id]; ok {
 			if waiters == nil {
-				waiters = make(map[int]*call)
+				waiters = make(map[int]inflightRef)
 			}
-			waiters[i] = cl
+			waiters[i] = ref
 			continue
 		}
 		c.misses++
-		c.inflight[id] = &call{done: make(chan struct{})}
+		if lead == nil {
+			lead = &call{done: make(chan struct{})}
+			// Worst case every remaining id is a miss; one allocation
+			// instead of append's doubling ladder.
+			leadIdx = make([]int, 0, len(ids)-i)
+		}
+		c.inflight[id] = inflightRef{cl: lead, k: len(leadIdx)}
 		leadIdx = append(leadIdx, i)
-	}
-	leads := make(map[grid.BlockID]*call, len(leadIdx))
-	for _, i := range leadIdx {
-		leads[ids[i]] = c.inflight[ids[i]]
 	}
 	c.mu.Unlock()
 
-	// Issue this call's own misses as one batch, then resolve each lead so
-	// coalesced waiters (here and in concurrent calls) unblock.
+	// Issue this call's own misses as one batch, then resolve the shared
+	// call so coalesced waiters (here and in concurrent calls) unblock.
 	if len(leadIdx) > 0 {
 		leadIDs := make([]grid.BlockID, len(leadIdx))
 		for k, i := range leadIdx {
@@ -293,18 +336,19 @@ func (c *MemCache) GetBatch(ctx context.Context, ids []grid.BlockID) (vals [][]f
 				rvals[k], rerrs[k] = c.read(ctx, id)
 			}
 		}
+		c.finish(leadIDs, lead, rvals, rerrs)
 		for k, i := range leadIdx {
-			id := ids[i]
-			vals[i] = c.finish(id, leads[id], rvals[k], rerrs[k])
 			if rerrs[k] != nil {
-				vals[i], errs[i] = nil, rerrs[k]
+				errs[i] = rerrs[k]
+			} else {
+				vals[i] = rvals[k]
 			}
 		}
 	}
 
 	// Join reads initiated by concurrent callers.
-	for i, cl := range waiters {
-		v, err := c.wait(ctx, cl)
+	for i, ref := range waiters {
+		v, err := c.wait(ctx, ref)
 		vals[i], errs[i] = v, err
 		hit[i] = err == nil
 	}
@@ -341,20 +385,20 @@ func (c *MemCache) Prefetch(ctx context.Context, id grid.BlockID) error {
 		c.mu.Unlock()
 		return nil
 	}
-	if cl, ok := c.inflight[id]; ok {
+	if ref, ok := c.inflight[id]; ok {
 		c.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-cl.done:
+		case <-ref.cl.done:
 		}
-		return cl.err
+		return ref.cl.errs[ref.k]
 	}
 	cl := &call{done: make(chan struct{})}
-	c.inflight[id] = cl
+	c.inflight[id] = inflightRef{cl: cl}
 	c.mu.Unlock()
 	vals, err := c.read(ctx, id)
-	c.finish(id, cl, vals, err)
+	c.finish([]grid.BlockID{id}, cl, [][]float32{vals}, []error{err})
 	return err
 }
 
