@@ -5,10 +5,10 @@
 # committed baseline.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./internal/tier/... ./cmd/vizserver/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./internal/tier/... ./internal/shard/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
-BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/... ./internal/tier/...
+BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/... ./internal/tier/... ./internal/shard/...
 
 # Packages with fuzz targets; fuzz-smoke replays their seed corpora.
 FUZZ_PKGS := ./internal/blocksvc/...
@@ -17,9 +17,9 @@ FUZZ_PKGS := ./internal/blocksvc/...
 # and the two-replica network-chaos end-to-end run.
 CHAOS_TESTS := 'TestChaos|TestBreaker|TestFailover|TestDrain|TestHandshakeWriteDeadline|TestServerDetectsDeadPeer|TestClientDetectsDeadServer|TestKeepalive|TestChecksumFaultsDontFailover|TestCloseConcurrentWithReads'
 
-.PHONY: check vet build test race chaos chaos-smoke spill-smoke pipe-smoke fuzz-smoke bench bench-all bench-smoke bench-check
+.PHONY: check vet build test race chaos chaos-smoke spill-smoke pipe-smoke cluster-smoke fuzz-smoke bench bench-all bench-smoke bench-check
 
-check: vet build test race chaos-smoke spill-smoke pipe-smoke fuzz-smoke bench-smoke bench-check
+check: vet build test race chaos-smoke spill-smoke pipe-smoke cluster-smoke fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,14 @@ spill-smoke:
 pipe-smoke:
 	$(GO) test -race -count=1 -run='TestProtocolV3Interop|TestCompressionRoundTrip|TestPipelined|TestStallMidResponse|TestLyingFlateHeader' ./internal/blocksvc/
 
+# cluster-smoke runs the sharded-cluster suite under the race detector: a
+# 3-node in-process cluster with client-side consistent-hash routing, one
+# node killed mid-orbit and the map rebalanced by a live topology push —
+# every frame must stay error-free, plus the redirect/drain/v3 wire pins.
+cluster-smoke:
+	$(GO) test -race -count=1 -run='TestCluster' ./internal/blocksvc/
+	$(GO) test -race -count=1 ./internal/shard/
+
 # bench records the tracked hot-path numbers to results/BENCH_ooc.json (and
 # echoes the raw output). Commit the JSON when the numbers move.
 bench:
@@ -81,6 +89,7 @@ bench-smoke:
 bench-check:
 	$(GO) test -bench='^BenchmarkFrame$$' -benchmem -run='^$$' ./internal/ooc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 	$(GO) test -bench='^BenchmarkRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+	$(GO) test -bench='^BenchmarkShardedRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 	$(GO) test -bench='^BenchmarkTieredFrame$$' -benchmem -run='^$$' ./internal/tier/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 
 # fuzz-smoke replays each fuzz target's seed corpus as ordinary tests, so a

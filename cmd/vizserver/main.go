@@ -12,6 +12,7 @@
 //	          [-max-inflight-mb 256] [-max-session-reqs 8] [-queue-wait 100ms]
 //	          [-wire-compress off|low-entropy|all]
 //	          [-heartbeat 5s] [-drain-timeout 5s]
+//	          [-shard-id a -shard-map cluster.json]
 //	          [-debug-addr 127.0.0.1:9124]
 //	          [-fail-rate 0 -perm-frac 0 -corrupt-rate 0 -io-latency 0]
 //
@@ -42,6 +43,7 @@ import (
 	"repro/internal/faultio"
 	"repro/internal/obs"
 	"repro/internal/radius"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/vec"
 	"repro/internal/visibility"
@@ -69,6 +71,10 @@ func main() {
 
 		heartbeat = flag.Duration("heartbeat", 0, "liveness ping interval advertised to clients (0 = 5s default, negative disables)")
 		drainT    = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT: how long to let in-flight requests finish")
+
+		shardID  = flag.String("shard-id", "", "cluster mode: this node's shard id (must appear in -shard-map)")
+		shardMap = flag.String("shard-map", "",
+			"cluster mode: JSON topology file mapping shard ids to addresses; this node serves only the blocks the consistent-hash ring assigns to -shard-id and answers the rest with redirects")
 
 		debugAddr = flag.String("debug-addr", "",
 			"optional HTTP debug listen address (JSON metrics at /debug/metrics, pprof at /debug/pprof/)")
@@ -146,6 +152,17 @@ func main() {
 		fatal(err)
 	}
 	cfg.Compression = mode
+	if (*shardID == "") != (*shardMap == "") {
+		fatal(fmt.Errorf("cluster mode needs both -shard-id and -shard-map"))
+	}
+	if *shardMap != "" {
+		m, err := shard.Load(*shardMap)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ShardMap = m
+		cfg.ShardID = *shardID
+	}
 	if !*noPre || mode == blocksvc.CompressLowEntropy {
 		// The importance table drives both prefetch prediction and the
 		// low-entropy compression policy; build it if either needs it.
@@ -178,6 +195,10 @@ func main() {
 	}
 	fmt.Printf("serving            %s on %s (cache %d MiB, prefetch %v)\n",
 		ds.Name, l.Addr(), capacity>>20, !*noPre)
+	if cfg.ShardMap != nil {
+		fmt.Printf("cluster            shard %q of %d (topology epoch %d)\n",
+			cfg.ShardID, len(cfg.ShardMap.Shards), cfg.ShardMap.Epoch)
+	}
 
 	if *debugAddr != "" {
 		dl, err := net.Listen("tcp", *debugAddr)
@@ -223,6 +244,10 @@ func main() {
 	fmt.Printf("view updates       %d received\n", st.ViewUpdates)
 	fmt.Printf("liveness           %d heartbeats sent, %d dead peers dropped, %d goaways announced\n",
 		st.HeartbeatsSent, st.DeadPeers, st.GoawaysSent)
+	if st.Redirects > 0 || st.TopologyPushes > 0 {
+		fmt.Printf("cluster            %d redirects answered, %d topology pushes sent\n",
+			st.Redirects, st.TopologyPushes)
+	}
 	fmt.Printf("prefetch           %d issued, %d executed, %d failed, %d dropped\n",
 		st.PrefetchIssued, st.PrefetchExecuted, st.PrefetchFailed, st.PrefetchDropped)
 	cc := mc.Counters()

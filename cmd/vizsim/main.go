@@ -17,7 +17,11 @@
 // prefetch stats. With -remote addr the blocks come from a running vizserver
 // instead of local disk: the runtime reads through a pooled blocksvc client,
 // sends its camera positions so the server prefetches ahead of the session,
-// and reports wire-level fault/shed counters. -cache-dir adds a persistent
+// and reports wire-level fault/shed counters. A comma-separated -remote list
+// is replicas of ONE shard (each address serves the whole dataset; the
+// client fails over between them); -shard-map cluster.json instead routes
+// reads across a sharded cluster where each node owns a consistent-hash
+// slice of the blocks and the client re-routes live on topology changes. -cache-dir adds a persistent
 // SSD spill tier under the in-memory cache (sized by -cache-size): DRAM
 // evictions are written behind to checksummed spill files that survive
 // restarts, so a reconnecting session re-serves warm blocks from local
@@ -46,6 +50,7 @@ import (
 	"repro/internal/ooc"
 	"repro/internal/policy"
 	"repro/internal/radius"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/tier"
@@ -73,7 +78,8 @@ func main() {
 		savePath = flag.String("save-path", "", "write the camera path used to this file")
 
 		realio      = flag.Bool("realio", false, "move actual bytes through the out-of-core runtime instead of simulating")
-		remote      = flag.String("remote", "", "realio: read blocks from vizservers at these comma-separated addresses (replicas; the client fails over between them) instead of local disk")
+		remote      = flag.String("remote", "", "realio: read blocks from vizservers at these comma-separated addresses instead of local disk; the flat list is REPLICAS of one shard (every address serves the whole dataset and the client fails over between them) — for a sharded cluster use -shard-map instead")
+		shardMapF   = flag.String("shard-map", "", "realio: route reads across a sharded vizserver cluster described by this JSON topology file (each address owns a consistent-hash slice of the blocks); mutually exclusive with -remote")
 		cacheDir    = flag.String("cache-dir", "", "realio: persistent spill-tier directory under the in-memory cache (survives restarts; empty = no spill tier)")
 		cacheSize   = flag.Int64("cache-size", 256<<20, "realio: spill-tier capacity in bytes")
 		metrics     = flag.Duration("metrics", 0, "realio: print a live metrics snapshot at this interval, plus a final frame-phase breakdown (0 = off)")
@@ -141,12 +147,16 @@ func main() {
 		}
 	}
 
-	if *remote != "" && !*realio {
-		fmt.Fprintln(os.Stderr, "vizsim: -remote requires -realio")
+	if (*remote != "" || *shardMapF != "") && !*realio {
+		fmt.Fprintln(os.Stderr, "vizsim: -remote and -shard-map require -realio")
+		os.Exit(2)
+	}
+	if *remote != "" && *shardMapF != "" {
+		fmt.Fprintln(os.Stderr, "vizsim: -remote (replicas of one shard) and -shard-map (sharded cluster) are mutually exclusive")
 		os.Exit(2)
 	}
 	if *realio {
-		err := runRealIO(ds, g, p, vec.Radians(*angle), *remote, *cacheDir, *cacheSize, *cacheFrac, faultio.InjectorConfig{
+		err := runRealIO(ds, g, p, vec.Radians(*angle), *remote, *shardMapF, *cacheDir, *cacheSize, *cacheFrac, faultio.InjectorConfig{
 			Seed:          *faultSeed,
 			FailRate:      *failRate,
 			PermanentFrac: *permFrac,
@@ -211,7 +221,7 @@ func main() {
 // reporter prints live registry snapshots while frames run, and the run ends
 // with the frame-phase latency breakdown.
 func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
-	remote, cacheDir string, cacheSize int64, cacheFrac float64,
+	remote, shardMapPath, cacheDir string, cacheSize int64, cacheFrac float64,
 	inject faultio.InjectorConfig, readDeadline, metricsEvery time.Duration) error {
 	reg := obs.NewRegistry()
 	var (
@@ -220,14 +230,25 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 		rr     *blocksvc.RemoteReader
 		err    error
 	)
-	if remote != "" {
-		var eps []blocksvc.Endpoint
-		for _, addr := range strings.Split(remote, ",") {
-			if addr = strings.TrimSpace(addr); addr != "" {
-				eps = append(eps, blocksvc.Endpoint{Addr: addr})
+	if remote != "" || shardMapPath != "" {
+		ccfg := blocksvc.ClientConfig{Conns: 4, Metrics: reg}
+		if shardMapPath != "" {
+			// Sharded cluster: the topology file drives consistent-hash
+			// routing; each shard owns a slice of the blocks.
+			ccfg.ShardMap, err = shard.Load(shardMapPath)
+			if err != nil {
+				return err
+			}
+		} else {
+			// Flat list: replicas of ONE shard; every address serves the
+			// whole dataset and the client fails over between them.
+			for _, addr := range strings.Split(remote, ",") {
+				if addr = strings.TrimSpace(addr); addr != "" {
+					ccfg.Endpoints = append(ccfg.Endpoints, blocksvc.Endpoint{Addr: addr})
+				}
 			}
 		}
-		rr, err = blocksvc.Dial(blocksvc.ClientConfig{Endpoints: eps, Conns: 4, Metrics: reg})
+		rr, err = blocksvc.Dial(ccfg)
 		if err != nil {
 			return err
 		}
@@ -238,8 +259,13 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 				"start vizsim with the server's -dataset/-scale/-blocks",
 				hdr.Res, hdr.Block, g.Res(), g.BlockSize())
 		}
-		fmt.Printf("remote store       %s (v%d, %d blocks, %d replicas, 4 pooled conns)\n",
-			remote, hdr.Version, g.NumBlocks(), len(eps))
+		if m := rr.Topology(); m != nil {
+			fmt.Printf("remote cluster     %d shards (topology epoch %d, seed %d), %d blocks, 4 pooled conns per shard\n",
+				len(m.Shards), m.Epoch, m.Seed, g.NumBlocks())
+		} else {
+			fmt.Printf("remote store       %s (v%d, %d blocks, %d replicas, 4 pooled conns)\n",
+				remote, hdr.Version, g.NumBlocks(), len(ccfg.Endpoints))
+		}
 		reader = rr
 	} else {
 		dir, err := os.MkdirTemp("", "vizsim-realio")
@@ -405,6 +431,10 @@ func runRealIO(ds *volume.Dataset, g *grid.Grid, p camera.Path, theta float64,
 			rs.PingsSent, rs.PongsReceived, rs.DeadPeers, rs.GoawaysReceived)
 		fmt.Printf("remote failover    %d batches re-routed; breaker %d opens / %d probes / %d closes\n",
 			rs.Failovers, rs.BreakerOpens, rs.BreakerProbes, rs.BreakerCloses)
+		if rs.TopologyUpdates > 0 || rs.Redirects > 0 || rs.Reroutes > 0 {
+			fmt.Printf("remote cluster     %d topology updates adopted, %d redirects seen, %d cross-shard re-routes\n",
+				rs.TopologyUpdates, rs.Redirects, rs.Reroutes)
+		}
 	}
 	if spill != nil {
 		// Let the write-behind queue land before reporting, so the final

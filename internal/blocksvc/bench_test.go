@@ -129,3 +129,67 @@ func BenchmarkRemoteFrameCompress(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShardedRemoteFrame measures the same warm-cache wire frame as
+// BenchmarkRemoteFrame, served by a consistent-hash cluster: with one shard
+// the router has a single group (the flat fast path plus map bookkeeping),
+// with three the visible set is partitioned by owner each frame and the
+// per-shard batches run in parallel over independent pipes. The delta
+// between the two is the routing overhead; the delta against
+// BenchmarkRemoteFrame is the cluster handshake's steady-state cost.
+func BenchmarkShardedRemoteFrame(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards []string
+	}{
+		{"1shard", []string{"a"}},
+		{"3shards", []string{"a", "b", "c"}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f := startCluster(b, tc.shards, nil)
+			ctx := context.Background()
+			// Warm every shard's cache so the benchmark measures the wire
+			// and the router, not the disk.
+			warm := dialCluster(b, f, 1)
+			if _, errs := warm.ReadBlocks(ctx, f.g.All()); errs[0] != nil {
+				b.Fatal(errs[0])
+			}
+
+			r := dialCluster(b, f, 4)
+			mc, err := store.NewMemCache(r, 4, cache.NewLRU()) // passthrough: never caches
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt, err := ooc.New(mc, f.vis, f.imp, ooc.Options{
+				Sigma: f.imp.MaxScore() + 1, // no prefetch: steady-state demand only
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			cam := camera.Camera{Pos: vec.New(0, 0, 3), ViewAngle: vec.Radians(20)}
+			visible := visibility.VisibleSet(f.g, cam)
+			if _, _, err := rt.Frame(ctx, cam.Pos, visible); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(visible)) * f.bf.BlockBytes(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, rep, err := rt.Frame(ctx, cam.Pos, visible)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Degraded {
+					b.Fatalf("degraded benchmark frame: %+v", rep)
+				}
+				for _, v := range out {
+					r.RecycleBlockBuf(v)
+				}
+			}
+			if st := r.Snapshot(); st.Reroutes != 0 || st.Redirects != 0 {
+				b.Fatalf("benchmark frames rerouted: %+v", st)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -54,14 +56,26 @@ type ClientConfig struct {
 	// Dial, when non-nil, replaces the default TCP dialer (in-process
 	// transports, custom networks). Ignored when Endpoints is set.
 	Dial func(ctx context.Context) (net.Conn, error)
-	// Endpoints lists replicas in preference order: requests go to the
-	// first healthy one, and a batch that fails transiently mid-flight is
-	// re-issued transparently to the next. Empty means the single
-	// Addr/Dial endpoint.
+	// Endpoints lists replicas of ONE shard in preference order: requests
+	// go to the first healthy one, and a batch that fails transiently
+	// mid-flight is re-issued transparently to the next. Empty means the
+	// single Addr/Dial endpoint. Ignored when ShardMap is set.
 	Endpoints []Endpoint
-	// Conns bounds the connection pool (default 2). Each connection
-	// multiplexes up to the server-granted number of tagged requests, so
-	// concurrent batches share connections before new ones are dialed.
+	// ShardMap, when non-nil, starts the client in cluster mode: blocks
+	// route to their owning shard by consistent hash, each shard's address
+	// list is its replica set (failing over exactly as Endpoints would
+	// within one shard), and topology pushes from any server re-route live
+	// traffic. A client started flat against a cluster node adopts the
+	// cluster's map from the welcome and becomes a router transparently.
+	ShardMap *shard.Map
+	// DialAddr, when non-nil, dials topology addresses — from ShardMap or
+	// pushed maps — instead of TCP (in-process transports, tests). Flat
+	// Endpoints with Addr set also route through it.
+	DialAddr func(ctx context.Context, addr string) (net.Conn, error)
+	// Conns bounds the connection pool per shard (default 2). Each
+	// connection multiplexes up to the server-granted number of tagged
+	// requests, so concurrent batches share connections before new ones
+	// are dialed.
 	Conns int
 	// PipelineDepth caps how many tagged requests this client keeps in
 	// flight per connection, within the server's advertised limit
@@ -86,13 +100,14 @@ type ClientConfig struct {
 	BreakerThreshold  int
 	BreakerBackoff    time.Duration // default 250ms
 	BreakerMaxBackoff time.Duration // default 8s
-	// FailoverAttempts caps how many connections one batch may try before
-	// failing its remaining blocks (default len(Endpoints)+1).
+	// FailoverAttempts caps how many connections one batch may try within
+	// a shard before failing its remaining blocks (default one more than
+	// the shard's replica count).
 	FailoverAttempts int
 
 	// Metrics, when non-nil, exposes the client's counters, request
 	// latency histogram, and per-endpoint health (names under "client.",
-	// documented in DESIGN.md §9/§10). Nil disables the export.
+	// documented in DESIGN.md §9). Nil disables the export.
 	Metrics *obs.Registry
 }
 
@@ -154,15 +169,28 @@ type ClientStats struct {
 	BreakerOpens       int64 // circuits opened (threshold hit or probe failed)
 	BreakerProbes      int64 // half-open probes admitted
 	BreakerCloses      int64 // circuits closed again by a healthy round trip
+	Redirects          int64 // blocks answered "not owned here" by a cluster node
+	Reroutes           int64 // blocks re-issued to a different shard after a redirect or topology change
+	TopologyUpdates    int64 // shard maps adopted (welcome or topology push)
 }
 
-// RemoteReader reads blocks from one or more replica blocksvc servers. It
-// implements store.BlockReader, store.ContextBlockReader,
-// store.BatchBlockReader, and store.BlockBufRecycler, so it drops into a
-// store.MemCache (and therefore ooc.Runtime) exactly where a local
-// BlockFile would: a whole miss batch travels as one tagged request,
-// returns per-block results, and — with cache recycling on — decodes into
-// buffers evicted earlier instead of allocating.
+// RemoteReader reads blocks from a block service: one server, a replica
+// set, or a sharded cluster. It implements store.BlockReader,
+// store.ContextBlockReader, store.BatchBlockReader, and
+// store.BlockBufRecycler, so it drops into a store.MemCache (and therefore
+// ooc.Runtime) exactly where a local BlockFile would: a whole miss batch
+// travels as tagged requests, returns per-block results, and — with cache
+// recycling on — decodes into buffers evicted earlier instead of
+// allocating.
+//
+// In cluster mode (a ShardMap configured, or learned from a cluster node's
+// welcome) the reader is a router: a batch is partitioned by consistent-
+// hash owner and the per-shard subsets are issued to their shards in
+// parallel, each through that shard's own replica pool with the same
+// pipelining, circuit breakers, and scoped failover a flat reader has. A
+// topology push re-routes live traffic: requests in flight to a departing
+// shard fail transiently, are cleared, and re-issue to the new owner;
+// blocks a node answers with a redirect re-route the same way.
 //
 // Connections are multiplexed: each carries up to the server-granted
 // number of concurrently tagged requests (bounded by PipelineDepth), a
@@ -171,17 +199,15 @@ type ClientStats struct {
 //
 // Failure handling follows the faultio classes: a torn connection or a
 // shed response sends a batch's unanswered blocks to the next healthy
-// endpoint (at most FailoverAttempts connections per batch) — blocks
-// already answered before the tear are kept — per-endpoint circuit
-// breakers keep dead replicas from being redialed in the hot path, and a
-// GOAWAY drains an endpoint without failing anything. Per-block answers —
-// including checksum faults — never trigger failover: an endpoint that
-// answers is healthy, even when its answers are errors. Safe for
-// concurrent use.
+// endpoint of the same shard — blocks already answered before the tear are
+// kept — per-endpoint circuit breakers keep dead replicas from being
+// redialed in the hot path, and a GOAWAY drains an endpoint without
+// failing anything. Per-block answers — including checksum faults — never
+// trigger failover: an endpoint that answers is healthy, even when its
+// answers are errors. Safe for concurrent use.
 type RemoteReader struct {
 	cfg ClientConfig
 	m   *clientMetrics
-	eps []*endpoint
 
 	header store.Header
 	g      *grid.Grid
@@ -191,11 +217,12 @@ type RemoteReader struct {
 	kaWG   sync.WaitGroup
 	connWG sync.WaitGroup // read loops of live connections
 
-	mu      sync.Mutex
-	conns   map[*rconn]struct{}
-	nconns  int             // live conns plus dials in progress
-	waiters []chan struct{} // batches waiting for capacity
-	closed  bool
+	// topo is the current routing table, swapped atomically on adoption;
+	// mu serializes adoptions and Close against each other (and guards the
+	// geometry learned from the first welcome).
+	topo   atomic.Pointer[topology]
+	closed atomic.Bool
+	mu     sync.Mutex
 
 	bufMu sync.Mutex
 	free  [][]float32 // recycled decode buffers (fed via RecycleBlockBuf)
@@ -209,10 +236,149 @@ var (
 	_ store.BlockBufRecycler = (*RemoteReader)(nil)
 )
 
+// topology is one immutable routing table: the adopted map (nil for a flat
+// replica config), its ring, and one connection group per shard. Swapped
+// whole on adoption; groups surviving a swap carry their connections and
+// breaker state across.
+type topology struct {
+	m      *shard.Map // nil = flat single-shard config
+	ring   *shard.Ring
+	groups []*shardGroup
+}
+
+// ownerGroup routes a block to its owning shard's group.
+func (t *topology) ownerGroup(id grid.BlockID) *shardGroup {
+	if t.ring == nil || len(t.groups) == 1 {
+		return t.groups[0]
+	}
+	return t.groups[t.ring.OwnerBlock(id)]
+}
+
+// shardGroup is one shard's connection pool: its replica endpoints with
+// their breakers, the live multiplexed connections, and the batches parked
+// for capacity. A flat (unsharded) reader is exactly one group.
+type shardGroup struct {
+	r    *RemoteReader
+	name string // shard ID ("0" for the flat config)
+	key  string // identity for reuse across topology swaps: name + addrs
+	eps  []*endpoint
+
+	dropped atomic.Bool // left the topology; acquires fail fast, conns are torn down
+
+	mu      sync.Mutex
+	conns   map[*rconn]struct{}
+	nconns  int             // live conns plus dials in progress
+	waiters []chan struct{} // batches waiting for capacity
+}
+
+// wake releases every batch parked on this group; each re-scans.
+func (g *shardGroup) wake() {
+	g.mu.Lock()
+	ws := g.waiters
+	g.waiters = nil
+	g.mu.Unlock()
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// snapshotConns copies the live connection set.
+func (g *shardGroup) snapshotConns() []*rconn {
+	g.mu.Lock()
+	conns := make([]*rconn, 0, len(g.conns))
+	for rc := range g.conns {
+		conns = append(conns, rc)
+	}
+	g.mu.Unlock()
+	return conns
+}
+
+// retire marks the group dropped (under the same lock that admits new
+// connections, so none can slip in after) and returns the conns to close.
+func (g *shardGroup) retire() []*rconn {
+	g.mu.Lock()
+	g.dropped.Store(true)
+	conns := make([]*rconn, 0, len(g.conns))
+	for rc := range g.conns {
+		conns = append(conns, rc)
+	}
+	g.mu.Unlock()
+	return conns
+}
+
+// liveConn returns any usable connection, nil when the group has none.
+func (g *shardGroup) liveConn() *rconn {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for rc := range g.conns {
+		if rc.usable() {
+			return rc
+		}
+	}
+	return nil
+}
+
+// groupKey is a group's reuse identity across topology swaps: a shard
+// whose ID and replica addresses are unchanged keeps its connections and
+// breaker history through an epoch bump.
+func groupKey(id string, addrs []string) string {
+	return id + "\x00" + strings.Join(addrs, "\x00")
+}
+
+// dialFuncFor resolves how one endpoint connects: its own Dial override,
+// the client-wide DialAddr hook, or TCP.
+func (r *RemoteReader) dialFuncFor(e Endpoint) func(ctx context.Context) (net.Conn, error) {
+	if e.Dial != nil {
+		return e.Dial
+	}
+	if r.cfg.DialAddr != nil && e.Addr != "" {
+		addr := e.Addr
+		dial := r.cfg.DialAddr
+		return func(ctx context.Context) (net.Conn, error) { return dial(ctx, addr) }
+	}
+	return e.dialFunc()
+}
+
+// newGroup builds a connection group for one shard's replica endpoints.
+func (r *RemoteReader) newGroup(shardID string, eps []Endpoint) *shardGroup {
+	g := &shardGroup{
+		r:     r,
+		name:  shardID,
+		conns: make(map[*rconn]struct{}),
+	}
+	addrs := make([]string, 0, len(eps))
+	for i, e := range eps {
+		name := e.Addr
+		if name == "" {
+			name = fmt.Sprintf("endpoint-%d", i)
+		}
+		addrs = append(addrs, name)
+		g.eps = append(g.eps, &endpoint{
+			idx:   i,
+			name:  name,
+			shard: shardID,
+			dial:  r.dialFuncFor(e),
+			br:    newBreaker(r.cfg.BreakerThreshold, r.cfg.BreakerBackoff, r.cfg.BreakerMaxBackoff),
+		})
+	}
+	g.key = groupKey(shardID, addrs)
+	return g
+}
+
+// endpointsOf converts a shard's address list to Endpoint values.
+func endpointsOf(sh shard.Shard) []Endpoint {
+	eps := make([]Endpoint, len(sh.Addrs))
+	for i, a := range sh.Addrs {
+		eps[i] = Endpoint{Addr: a}
+	}
+	return eps
+}
+
 // endpoint is one replica plus its health state.
 type endpoint struct {
 	idx      int
 	name     string
+	shard    string // owning group's shard ID (metric naming)
 	dial     func(ctx context.Context) (net.Conn, error)
 	br       *breaker
 	draining atomic.Bool // set by GOAWAY, cleared by a fresh successful handshake
@@ -251,16 +417,18 @@ type pendingReq struct {
 // responses into the pending map, and tags counts reserved request slots
 // against the server-granted maxReqs.
 type rconn struct {
-	r  *RemoteReader
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
-	ep *endpoint
+	r   *RemoteReader
+	grp *shardGroup
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	ep  *endpoint
 
-	session uint64
-	hb      time.Duration // server-advertised heartbeat interval
-	hbEff   time.Duration // resolved liveness cadence for this conn
-	maxReqs int           // server-granted concurrent requests
+	session    uint64
+	hb         time.Duration // server-advertised heartbeat interval
+	hbEff      time.Duration // resolved liveness cadence for this conn
+	maxReqs    int           // server-granted concurrent requests
+	welcomeMap *shard.Map    // cluster topology from the welcome, consumed by connect
 
 	tags   atomic.Int32 // reserved request slots
 	dead   atomic.Bool  // torn down; skip on acquire
@@ -303,45 +471,63 @@ func (rc *rconn) unreserve(k int) {
 		return
 	}
 	rc.tags.Add(-int32(k))
-	rc.r.wake()
+	rc.grp.wake()
 }
 
 // Dial connects to a block service and learns the served geometry from its
 // welcome; with multiple endpoints, the first reachable one wins. The
-// remaining pool connections are established lazily as concurrent requests
-// need them.
+// remaining pool connections — and in cluster mode the other shards'
+// pools — are established lazily as requests need them. A welcome carrying
+// a shard map (cluster servers) is adopted immediately, so a flat config
+// pointed at one cluster node discovers the whole cluster.
 func Dial(cfg ClientConfig) (*RemoteReader, error) {
 	cfg = cfg.withDefaults()
-	r := &RemoteReader{
-		cfg:   cfg,
-		conns: make(map[*rconn]struct{}),
-	}
-	for i, e := range cfg.Endpoints {
-		name := e.Addr
-		if name == "" {
-			name = fmt.Sprintf("endpoint-%d", i)
+	if cfg.ShardMap != nil {
+		if err := cfg.ShardMap.Validate(); err != nil {
+			return nil, fmt.Errorf("blocksvc: shard map: %w", err)
 		}
-		r.eps = append(r.eps, &endpoint{
-			idx:  i,
-			name: name,
-			dial: e.dialFunc(),
-			br:   newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
-		})
+		cfg.ShardMap = cfg.ShardMap.Clone()
 	}
+	r := &RemoteReader{cfg: cfg}
+	var topo *topology
+	if cfg.ShardMap != nil {
+		topo = &topology{m: cfg.ShardMap, ring: cfg.ShardMap.Ring()}
+		for _, sh := range cfg.ShardMap.Shards {
+			topo.groups = append(topo.groups, r.newGroup(sh.ID, endpointsOf(sh)))
+		}
+	} else {
+		topo = &topology{}
+		topo.groups = append(topo.groups, r.newGroup("0", cfg.Endpoints))
+	}
+	r.topo.Store(topo)
 	r.m = newClientMetrics(r, cfg.Metrics)
-	r.nconns = 1 // the eager connection below
+	for _, g := range topo.groups {
+		r.m.registerGroup(g)
+	}
+	neps := 0
+	for _, g := range topo.groups {
+		neps += len(g.eps)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(),
-		time.Duration(len(r.eps))*cfg.DialTimeout)
+		time.Duration(neps)*cfg.DialTimeout)
 	defer cancel()
 	var conn *rconn
 	var err error
-	for _, ep := range r.eps {
-		if conn, err = r.connect(ctx, ep); err == nil {
-			break
+dial:
+	for _, g := range topo.groups {
+		g.mu.Lock()
+		g.nconns++
+		g.mu.Unlock()
+		for _, ep := range g.eps {
+			if conn, err = r.connect(ctx, g, ep); err == nil {
+				break dial
+			}
 		}
+		g.mu.Lock()
+		g.nconns--
+		g.mu.Unlock()
 	}
-	if err != nil {
-		r.nconns = 0
+	if conn == nil {
 		return nil, err
 	}
 	r.hb = conn.hbEff
@@ -359,6 +545,12 @@ func (r *RemoteReader) Header() store.Header { return r.header }
 // Grid returns the served volume's block geometry.
 func (r *RemoteReader) Grid() *grid.Grid { return r.g }
 
+// Topology returns the currently adopted shard map, nil for a flat
+// replica configuration.
+func (r *RemoteReader) Topology() *shard.Map {
+	return r.topo.Load().m
+}
+
 // connHB resolves the liveness cadence for one connection: the config
 // override when set, else what the server advertised.
 func (r *RemoteReader) connHB(rc *rconn) time.Duration {
@@ -369,17 +561,6 @@ func (r *RemoteReader) connHB(rc *rconn) time.Duration {
 		return r.cfg.HeartbeatInterval
 	}
 	return rc.hb
-}
-
-// wake releases every batch parked for pool capacity; each re-scans.
-func (r *RemoteReader) wake() {
-	r.mu.Lock()
-	ws := r.waiters
-	r.waiters = nil
-	r.mu.Unlock()
-	for _, w := range ws {
-		close(w)
-	}
 }
 
 // getBuf returns a decode buffer of exactly n floats, reusing a recycled
@@ -429,8 +610,10 @@ func (r *RemoteReader) RecycleBlockBuf(vals []float32) {
 // connect dials and handshakes one connection to ep, retrying with backoff
 // under the configured Retrier. Success clears the endpoint's draining
 // mark (it evidently accepts sessions again), feeds its breaker, registers
-// the conn, and starts its read loop. The caller owns one nconns slot.
-func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error) {
+// the conn with its group, and starts its read loop. The caller owns one
+// of the group's nconns slots. A welcome carrying a newer shard map is
+// adopted after registration.
+func (r *RemoteReader) connect(ctx context.Context, g *shardGroup, ep *endpoint) (*rconn, error) {
 	var conn *rconn
 	attempts, err := r.cfg.Retry.Do(ctx, func(c context.Context) error {
 		tctx, cancel := context.WithTimeout(c, r.cfg.DialTimeout)
@@ -458,18 +641,29 @@ func (r *RemoteReader) connect(ctx context.Context, ep *endpoint) (*rconn, error
 	ep.draining.Store(false)
 	r.noteSuccess(ep)
 	r.count(func(s *ClientStats) { s.Dials++ })
+	conn.grp = g
 	conn.hbEff = r.connHB(conn)
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	g.mu.Lock()
+	if r.closed.Load() {
+		g.mu.Unlock()
 		conn.c.Close()
 		return nil, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
 	}
-	r.conns[conn] = struct{}{}
+	if g.dropped.Load() {
+		g.mu.Unlock()
+		conn.c.Close()
+		return nil, fmt.Errorf("blocksvc: shard %s left the topology: %w",
+			g.name, faultio.ErrTransient)
+	}
+	g.conns[conn] = struct{}{}
 	r.connWG.Add(1)
-	r.mu.Unlock()
+	g.mu.Unlock()
 	go conn.readLoop()
-	r.wake()
+	g.wake()
+	if m := conn.welcomeMap; m != nil {
+		conn.welcomeMap = nil
+		r.adoptMap(m)
+	}
 	return conn, nil
 }
 
@@ -515,6 +709,7 @@ func (r *RemoteReader) handshake(ep *endpoint, raw net.Conn) (*rconn, error) {
 	rc.session = welcome.Session
 	rc.hb = time.Duration(welcome.HeartbeatMillis) * time.Millisecond
 	rc.maxReqs = int(welcome.MaxRequests)
+	rc.welcomeMap = welcome.ShardMap
 	if rc.maxReqs > r.cfg.PipelineDepth {
 		rc.maxReqs = r.cfg.PipelineDepth
 	}
@@ -536,19 +731,88 @@ func (r *RemoteReader) handshake(ep *endpoint, raw net.Conn) (*rconn, error) {
 	return rc, nil
 }
 
-// pickEndpoint chooses where a fresh connection should go. Healthy
+// adoptMap installs a newer cluster topology: higher epochs win, equal or
+// older ones are ignored. Groups whose shard ID and replica addresses are
+// unchanged carry their connections and breaker state across the swap;
+// dropped groups are retired — their conns torn down, which fails the
+// tags in flight to them transiently so those batches re-route to the new
+// owners — and fresh groups start cold, dialed on demand.
+func (r *RemoteReader) adoptMap(m *shard.Map) bool {
+	if m == nil || m.Validate() != nil {
+		return false
+	}
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		return false
+	}
+	cur := r.topo.Load()
+	if cur.m != nil && m.Epoch <= cur.m.Epoch {
+		r.mu.Unlock()
+		return false
+	}
+	m = m.Clone()
+	reuse := make(map[string]*shardGroup, len(cur.groups))
+	for _, g := range cur.groups {
+		reuse[g.key] = g
+	}
+	nt := &topology{m: m, ring: m.Ring(), groups: make([]*shardGroup, len(m.Shards))}
+	used := make(map[*shardGroup]bool, len(cur.groups))
+	var fresh []*shardGroup
+	for i, sh := range m.Shards {
+		if g := reuse[groupKey(sh.ID, sh.Addrs)]; g != nil && !used[g] {
+			used[g] = true
+			nt.groups[i] = g
+			continue
+		}
+		g := r.newGroup(sh.ID, endpointsOf(sh))
+		nt.groups[i] = g
+		fresh = append(fresh, g)
+	}
+	var retired []*shardGroup
+	for _, g := range cur.groups {
+		if !used[g] {
+			retired = append(retired, g)
+		}
+	}
+	// Retire old metric names before registering replacements that may
+	// reuse a shard ID, so /debug/metrics never shows stale nodes.
+	for _, g := range retired {
+		r.m.unregisterGroup(g)
+	}
+	for _, g := range fresh {
+		r.m.registerGroup(g)
+	}
+	r.topo.Store(nt)
+	r.mu.Unlock()
+	r.count(func(s *ClientStats) { s.TopologyUpdates++ })
+	for _, g := range retired {
+		// Closing the sockets errors each read loop, whose teardown fails
+		// the pending tags transiently — their batches re-route.
+		for _, rc := range g.retire() {
+			rc.c.Close()
+		}
+		g.wake()
+	}
+	for _, g := range nt.groups {
+		g.wake()
+	}
+	return true
+}
+
+// pickEndpoint chooses where a group's fresh connection should go. Healthy
 // (closed-breaker, non-draining) endpoints win in config order, then
 // half-open probes of recovering ones; as a last resort anything the
 // breaker admits — including the endpoint being avoided or a draining
 // replica — beats failing the batch outright.
-func (r *RemoteReader) pickEndpoint(avoid *endpoint) *endpoint {
+func (r *RemoteReader) pickEndpoint(g *shardGroup, avoid *endpoint) *endpoint {
 	now := time.Now()
-	for _, ep := range r.eps {
+	for _, ep := range g.eps {
 		if ep != avoid && !ep.draining.Load() && ep.br.current() == brClosed {
 			return ep
 		}
 	}
-	for _, ep := range r.eps {
+	for _, ep := range g.eps {
 		if ep == avoid || ep.draining.Load() {
 			continue
 		}
@@ -559,7 +823,7 @@ func (r *RemoteReader) pickEndpoint(avoid *endpoint) *endpoint {
 			return ep
 		}
 	}
-	for _, ep := range r.eps {
+	for _, ep := range g.eps {
 		if ok, probe := ep.br.allow(now); ok {
 			if probe {
 				r.count(func(s *ClientStats) { s.BreakerProbes++ })
@@ -575,25 +839,28 @@ func (rc *rconn) usable() bool {
 	return !rc.dead.Load() && !rc.goaway.Load() && !rc.ep.draining.Load()
 }
 
-// acquire returns a connection with want request slots reserved on it
-// (granted ≤ want, at least 1 when want > 0; 0 reserved when want is 0,
-// for fire-and-forget frames). Preference order: a live conn to an
+// acquire returns one of g's connections with want request slots reserved
+// on it (granted ≤ want, at least 1 when want > 0; 0 reserved when want is
+// 0, for fire-and-forget frames). Preference order: a live conn to an
 // endpoint other than avoid with free slots, then a fresh dial while the
-// pool has room, then a conn to the avoided endpoint, then wait for
-// capacity.
-func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (*rconn, int, error) {
+// group's pool has room, then a conn to the avoided endpoint, then wait
+// for capacity.
+func (r *RemoteReader) acquire(ctx context.Context, g *shardGroup, avoid *endpoint, want int) (*rconn, int, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		r.mu.Lock()
-		if r.closed {
-			r.mu.Unlock()
+		if r.closed.Load() {
 			return nil, 0, fmt.Errorf("blocksvc: client closed: %w", faultio.ErrPermanent)
 		}
+		if g.dropped.Load() {
+			return nil, 0, fmt.Errorf("blocksvc: shard %s left the topology: %w",
+				g.name, faultio.ErrTransient)
+		}
+		g.mu.Lock()
 		scan := func(skipAvoid bool) *rconn {
 			var best *rconn
-			for rc := range r.conns {
+			for rc := range g.conns {
 				if !rc.usable() || (skipAvoid && rc.ep == avoid) {
 					continue
 				}
@@ -606,9 +873,9 @@ func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (
 			}
 			return best
 		}
-		best := scan(avoid != nil && len(r.eps) > 1)
+		best := scan(avoid != nil && len(g.eps) > 1)
 		if best != nil {
-			r.mu.Unlock()
+			g.mu.Unlock()
 			if want <= 0 {
 				return best, 0, nil
 			}
@@ -617,22 +884,22 @@ func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (
 			}
 			continue // raced to full; rescan
 		}
-		if r.nconns < r.cfg.Conns {
-			r.nconns++
-			r.mu.Unlock()
-			ep := r.pickEndpoint(avoid)
+		if g.nconns < r.cfg.Conns {
+			g.nconns++
+			g.mu.Unlock()
+			ep := r.pickEndpoint(g, avoid)
 			if ep == nil {
-				r.mu.Lock()
-				r.nconns--
-				r.mu.Unlock()
+				g.mu.Lock()
+				g.nconns--
+				g.mu.Unlock()
 				return nil, 0, fmt.Errorf("blocksvc: no admissible endpoint (breakers open): %w",
 					faultio.ErrTransient)
 			}
-			rc, err := r.connect(ctx, ep)
+			rc, err := r.connect(ctx, g, ep)
 			if err != nil {
-				r.mu.Lock()
-				r.nconns--
-				r.mu.Unlock()
+				g.mu.Lock()
+				g.nconns--
+				g.mu.Unlock()
 				return nil, 0, err
 			}
 			if want <= 0 {
@@ -646,7 +913,7 @@ func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (
 		// A conn to the avoided endpoint with capacity beats waiting.
 		if avoid != nil {
 			if best := scan(false); best != nil {
-				r.mu.Unlock()
+				g.mu.Unlock()
 				if want <= 0 {
 					return best, 0, nil
 				}
@@ -657,8 +924,8 @@ func (r *RemoteReader) acquire(ctx context.Context, avoid *endpoint, want int) (
 			}
 		}
 		w := make(chan struct{})
-		r.waiters = append(r.waiters, w)
-		r.mu.Unlock()
+		g.waiters = append(g.waiters, w)
+		g.mu.Unlock()
 		select {
 		case <-w:
 		case <-ctx.Done():
@@ -686,22 +953,21 @@ func (r *RemoteReader) noteFailure(ep *endpoint) {
 // In-flight requests fail transiently; new requests fail permanently.
 func (r *RemoteReader) Close() error {
 	r.mu.Lock()
-	if r.closed {
+	if r.closed.Load() {
 		r.mu.Unlock()
 		return nil
 	}
-	r.closed = true
-	conns := make([]*rconn, 0, len(r.conns))
-	for rc := range r.conns {
-		conns = append(conns, rc)
-	}
+	r.closed.Store(true)
 	r.mu.Unlock()
 	// Closing the sockets errors each read loop, which runs teardown:
 	// pending tags fail transiently and the conn deregisters itself.
-	for _, rc := range conns {
-		rc.c.Close()
+	topo := r.topo.Load()
+	for _, g := range topo.groups {
+		for _, rc := range g.snapshotConns() {
+			rc.c.Close()
+		}
+		g.wake()
 	}
-	r.wake()
 	if r.stopKA != nil {
 		close(r.stopKA)
 		r.kaWG.Wait()
@@ -739,17 +1005,14 @@ func (r *RemoteReader) keepaliveLoop() {
 			return
 		case <-tick.C:
 		}
-		r.mu.Lock()
-		conns := make([]*rconn, 0, len(r.conns))
-		for rc := range r.conns {
-			conns = append(conns, rc)
-		}
-		r.mu.Unlock()
-		for _, rc := range conns {
-			if rc.dead.Load() || rc.tags.Load() > 0 {
-				continue
+		topo := r.topo.Load()
+		for _, g := range topo.groups {
+			for _, rc := range g.snapshotConns() {
+				if rc.dead.Load() || rc.tags.Load() > 0 {
+					continue
+				}
+				rc.ping()
 			}
-			rc.ping()
 		}
 	}
 }
@@ -793,8 +1056,8 @@ func (rc *rconn) ping() {
 }
 
 // teardown kills a torn connection exactly once: closes the socket,
-// deregisters it from the pool, and fails every pending tag transiently so
-// their batches fail over. The endpoint is charged a failure unless the
+// deregisters it from its group, and fails every pending tag transiently
+// so their batches fail over. The endpoint is charged a failure unless the
 // client itself is closing or the conn was drained by GOAWAY; an idle conn
 // whose liveness deadline expired additionally counts a dead peer.
 func (rc *rconn) teardown(cause error) {
@@ -809,11 +1072,12 @@ func (rc *rconn) teardown(cause error) {
 	rc.mu.Unlock()
 	rc.c.Close()
 	r := rc.r
-	r.mu.Lock()
-	delete(r.conns, rc)
-	r.nconns--
-	closed := r.closed
-	r.mu.Unlock()
+	g := rc.grp
+	g.mu.Lock()
+	delete(g.conns, rc)
+	g.nconns--
+	g.mu.Unlock()
+	closed := r.closed.Load()
 	err := fmt.Errorf("blocksvc: connection lost: %v: %w", cause, faultio.ErrTransient)
 	for _, p := range pend {
 		p.mu.Lock()
@@ -824,7 +1088,7 @@ func (rc *rconn) teardown(cause error) {
 		}
 		p.mu.Unlock()
 	}
-	r.wake()
+	g.wake()
 	if closed || rc.goaway.Load() {
 		return
 	}
@@ -957,6 +1221,13 @@ func (rc *rconn) handleFrame(typ byte, payload []byte) error {
 		rc.ep.draining.Store(true)
 		r.count(func(s *ClientStats) { s.GoawaysReceived++ })
 		return nil
+	case msgTopology:
+		m, ok := decodeTopology(payload)
+		if !ok {
+			return fmt.Errorf("bad topology frame")
+		}
+		r.adoptMap(m)
+		return nil
 	case msgError:
 		return fmt.Errorf("server error: %s", payload)
 	default:
@@ -997,7 +1268,7 @@ func (rc *rconn) handleBlocks(payload []byte) error {
 	if it.First < 0 || it.N < 0 || it.First+it.N > len(p.ids) {
 		return fmt.Errorf("blocks frame out of range")
 	}
-	var served, faults, cksum, wireBytes, zblocks, zbytes int64
+	var served, faults, redirects, cksum, wireBytes, zblocks, zbytes int64
 	p.mu.Lock()
 	if p.outcome != 0 {
 		p.mu.Unlock()
@@ -1013,9 +1284,16 @@ func (rc *rconn) handleBlocks(payload []byte) error {
 		}
 		id := p.ids[k]
 		if it.Status != statusOK {
-			p.errs[k] = blockErr(it.Status, id)
+			if it.Status == statusRedirect {
+				// "Not owned here": an answer, not a fault — the batch
+				// re-routes it to the owner under the current topology.
+				p.errs[k] = &redirectError{id: id, epoch: it.Epoch}
+				redirects++
+			} else {
+				p.errs[k] = blockErr(it.Status, id)
+				faults++
+			}
 			p.answered++
-			faults++
 			continue
 		}
 		if crc32.Checksum(it.Wire, castagnoli) != it.Sum {
@@ -1061,6 +1339,7 @@ func (rc *rconn) handleBlocks(payload []byte) error {
 	r.count(func(s *ClientStats) {
 		s.BlocksServed += served
 		s.RemoteFaults += faults
+		s.Redirects += redirects
 		s.ChecksumErrors += cksum
 		s.BytesReceived += wireBytes
 		s.DecompressedBlocks += zblocks
@@ -1128,50 +1407,139 @@ func tagsWanted(n, depth int) int {
 	return t
 }
 
-// ReadBlocks implements store.BatchBlockReader: the batch travels as one
-// or more tagged request frames on a shared connection, and the server
-// streams back per-block results that the connection's read loop
-// demultiplexes (the store's merged sequential reads happen server-side).
+// maxRoutePasses bounds how many times one batch may be re-routed across
+// topology changes and redirects. A stale client catches up in one pass
+// once a newer map arrives; the bound only stops a redirect ping-pong
+// between nodes that persistently disagree (the leftover redirect errors
+// surface as transient faults for the retry layers above).
+const maxRoutePasses = 4
+
+// isRedirect reports whether err is a cluster node's "not owned here"
+// answer.
+func isRedirect(err error) bool {
+	var re *redirectError
+	return errors.As(err, &re)
+}
+
+// ReadBlocks implements store.BatchBlockReader: the batch is partitioned
+// by shard owner (one partition in flat mode), each partition travels as
+// tagged request frames on the owning shard's connections — shards issued
+// in parallel — and the servers stream back per-block results that each
+// connection's read loop demultiplexes (the store's merged sequential
+// reads happen server-side).
+//
 // A transport failure or shed mid-batch re-issues the unanswered blocks to
-// the next healthy endpoint — blocks already answered are kept, including
-// those of a tag torn mid-response — until the batch completes or
-// FailoverAttempts connections have been tried; only then do the remaining
-// blocks fail with a transient fault for the retry layers above.
+// the next healthy replica of the same shard — blocks already answered are
+// kept, including those of a tag torn mid-response — until the partition
+// completes or FailoverAttempts connections have been tried. Blocks a node
+// answers with a redirect, and blocks whose shard failed while leaving the
+// topology, re-route to their owner under the newest adopted map (at most
+// maxRoutePasses times); only then do the remaining blocks fail with a
+// transient fault for the retry layers above.
 func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]float32, []error) {
 	vals := make([][]float32, len(ids))
 	errs := make([]error, len(ids))
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return vals, errs
+	}
+	r.count(func(s *ClientStats) { s.Requests++; s.BlocksRequested += int64(len(ids)) })
+	// End-to-end batch latency: acquire through last done frame, every
+	// outcome (served, shed, torn, failed over, re-routed) included.
+	reqStart := time.Now()
+	defer func() { r.m.requestNs.Observe(time.Since(reqStart).Nanoseconds()) }()
+
 	pending := make([]int, len(ids))
 	for i := range pending {
 		pending[i] = i
 	}
-	failPending := func(err error) ([][]float32, []error) {
+	for pass := 1; ; pass++ {
+		topo := r.topo.Load()
+		if len(topo.groups) == 1 {
+			r.readGroup(ctx, topo.groups[0], ids, vals, errs, pending)
+		} else {
+			parts := make([][]int, len(topo.groups))
+			for _, i := range pending {
+				o := topo.ring.OwnerBlock(ids[i])
+				parts[o] = append(parts[o], i)
+			}
+			var wg sync.WaitGroup
+			for gi := range parts {
+				if len(parts[gi]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(g *shardGroup, part []int) {
+					defer wg.Done()
+					// Partitions are disjoint index sets, so the parallel
+					// fills of vals/errs never touch the same element.
+					r.readGroup(ctx, g, ids, vals, errs, part)
+				}(topo.groups[gi], parts[gi])
+			}
+			wg.Wait()
+		}
+		// Re-route what this pass could not finish: redirects always (the
+		// addressed node told us it is not the owner), and transiently
+		// failed blocks whose owner changed under a topology adopted while
+		// the pass ran (their shard left; the new owner has them).
+		after := r.topo.Load()
+		var retry []int
+		for i := range ids {
+			e := errs[i]
+			if vals[i] != nil || e == nil {
+				continue
+			}
+			if isRedirect(e) {
+				retry = append(retry, i)
+				continue
+			}
+			if after != topo && faultio.Retryable(e) &&
+				topo.ownerGroup(ids[i]) != after.ownerGroup(ids[i]) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 || pass >= maxRoutePasses || ctx.Err() != nil {
+			return vals, errs
+		}
+		for _, i := range retry {
+			errs[i] = nil
+		}
+		pending = retry
+		r.count(func(s *ClientStats) { s.Reroutes += int64(len(retry)) })
+	}
+}
+
+// readGroup issues the pending index subset of ids to one shard's
+// connection group, failing over among its replicas. It fills vals/errs
+// for every pending index (values, per-block faults, or the last transport
+// error once the attempts are exhausted).
+func (r *RemoteReader) readGroup(ctx context.Context, g *shardGroup, ids []grid.BlockID,
+	vals [][]float32, errs []error, pending []int) {
+	failPending := func(err error) {
 		for _, i := range pending {
 			if vals[i] == nil && errs[i] == nil {
 				errs[i] = err
 			}
 		}
-		return vals, errs
 	}
-	if err := ctx.Err(); err != nil {
-		return failPending(err)
+	attemptsMax := r.cfg.FailoverAttempts
+	if attemptsMax < len(g.eps)+1 {
+		attemptsMax = len(g.eps) + 1
 	}
-	r.count(func(s *ClientStats) { s.Requests++; s.BlocksRequested += int64(len(ids)) })
-	// End-to-end batch latency: acquire through last done frame, every
-	// outcome (served, shed, torn, failed over) included.
-	reqStart := time.Now()
-	defer func() { r.m.requestNs.Observe(time.Since(reqStart).Nanoseconds()) }()
-
 	var avoid *endpoint
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		want := tagsWanted(len(pending), r.cfg.PipelineDepth)
-		rc, granted, err := r.acquire(ctx, avoid, want)
+		rc, granted, err := r.acquire(ctx, g, avoid, want)
 		if err != nil {
 			// A failed dial consumes a failover attempt like a torn
 			// exchange would: the endpoint's breaker was already charged,
 			// so the next attempt naturally lands elsewhere.
-			if attempt >= r.cfg.FailoverAttempts || ctx.Err() != nil || !faultio.Retryable(err) {
-				return failPending(err)
+			if attempt >= attemptsMax || ctx.Err() != nil || !faultio.Retryable(err) {
+				failPending(err)
+				return
 			}
 			lastErr = err
 			continue
@@ -1182,7 +1550,7 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		var done bool
 		done, lastErr = r.exchange(ctx, rc, granted, ids, vals, errs, pending)
 		if done {
-			return vals, errs
+			return
 		}
 		// Keep what this attempt answered; re-issue only the rest.
 		still := pending[:0]
@@ -1193,14 +1561,15 @@ func (r *RemoteReader) ReadBlocks(ctx context.Context, ids []grid.BlockID) ([][]
 		}
 		pending = still
 		if len(pending) == 0 {
-			return vals, errs
+			return
 		}
 		avoid = rc.ep
-		if attempt >= r.cfg.FailoverAttempts || ctx.Err() != nil {
+		if attempt >= attemptsMax || ctx.Err() != nil {
 			if lastErr == nil {
 				lastErr = fmt.Errorf("blocksvc: incomplete response: %w", faultio.ErrTransient)
 			}
-			return failPending(lastErr)
+			failPending(lastErr)
+			return
 		}
 	}
 }
@@ -1344,14 +1713,9 @@ func (r *RemoteReader) harvest(p *pendingReq, start int, pending []int,
 	p.mu.Unlock()
 }
 
-// SendView tells the server where this session's camera is, driving its
-// predictive prefetch into the shared cache. Best-effort: an error only
-// means the hint was lost.
-func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
-	rc, _, err := r.acquire(ctx, nil, 0)
-	if err != nil {
-		return err
-	}
+// sendView writes one view frame on rc, tearing the conn down on a write
+// failure.
+func (rc *rconn) sendView(pos vec.V3) error {
 	e := getEnc()
 	e.u64(math.Float64bits(pos.X))
 	e.u64(math.Float64bits(pos.Y))
@@ -1366,7 +1730,53 @@ func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
 	putEnc(e)
 	if werr != nil {
 		rc.teardown(werr)
-		return werr
+	}
+	return werr
+}
+
+// SendView tells the cluster where this session's camera is, driving each
+// server's predictive prefetch into its shared cache. In cluster mode the
+// hint goes to every shard that already has a live connection — each node
+// prefetches only the blocks it owns — falling back to dialing the first
+// shard when no connection exists yet. Best-effort: an error only means
+// the hint was lost.
+func (r *RemoteReader) SendView(ctx context.Context, pos vec.V3) error {
+	topo := r.topo.Load()
+	if len(topo.groups) == 1 {
+		rc, _, err := r.acquire(ctx, topo.groups[0], nil, 0)
+		if err != nil {
+			return err
+		}
+		if err := rc.sendView(pos); err != nil {
+			return err
+		}
+		r.count(func(s *ClientStats) { s.ViewUpdates++ })
+		return nil
+	}
+	sent := 0
+	var lastErr error
+	for _, g := range topo.groups {
+		rc := g.liveConn()
+		if rc == nil {
+			continue
+		}
+		if err := rc.sendView(pos); err != nil {
+			lastErr = err
+			continue
+		}
+		sent++
+	}
+	if sent == 0 {
+		if lastErr != nil {
+			return lastErr
+		}
+		rc, _, err := r.acquire(ctx, topo.groups[0], nil, 0)
+		if err != nil {
+			return err
+		}
+		if err := rc.sendView(pos); err != nil {
+			return err
+		}
 	}
 	r.count(func(s *ClientStats) { s.ViewUpdates++ })
 	return nil

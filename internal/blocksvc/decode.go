@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/grid"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/vec"
 )
@@ -43,9 +44,10 @@ type welcomeMsg struct {
 	Version         uint16
 	Session         uint64
 	Header          store.Header
-	HeartbeatMillis uint32 // server's liveness cadence; 0 = disabled
-	Caps            uint32 // negotiated capability bits (v4+; 0 otherwise)
-	MaxRequests     uint32 // pipelined requests the server allows per conn
+	HeartbeatMillis uint32     // server's liveness cadence; 0 = disabled
+	Caps            uint32     // negotiated capability bits (v4+; 0 otherwise)
+	MaxRequests     uint32     // pipelined requests the server allows per conn
+	ShardMap        *shard.Map // cluster topology (capShard sessions only)
 }
 
 func decodeWelcome(payload []byte) (welcomeMsg, bool) {
@@ -66,9 +68,35 @@ func decodeWelcome(payload []byte) (welcomeMsg, bool) {
 		if m.MaxRequests == 0 {
 			m.MaxRequests = 1
 		}
+		// capShard welcomes append the cluster topology, length-prefixed.
+		// The declared length is validated against the remaining payload
+		// before the map decoder sees it; the map decoder then validates
+		// its own counts before allocating.
+		if m.Caps&capShard != 0 && !d.bad {
+			n := int(d.u32())
+			raw := d.take(n)
+			if raw == nil {
+				return welcomeMsg{}, false
+			}
+			sm, err := shard.DecodeBinary(raw)
+			if err != nil {
+				return welcomeMsg{}, false
+			}
+			m.ShardMap = sm
+		}
 	}
 	if !d.ok() {
 		return welcomeMsg{}, false
+	}
+	return m, true
+}
+
+// decodeTopology decodes a topology push frame: one shard.Map, the whole
+// payload. The map decoder rejects hostile counts before allocation.
+func decodeTopology(payload []byte) (*shard.Map, bool) {
+	m, err := shard.DecodeBinary(payload)
+	if err != nil {
+		return nil, false
 	}
 	return m, true
 }

@@ -8,6 +8,8 @@ import (
 	"math"
 	"runtime"
 	"testing"
+
+	"repro/internal/shard"
 )
 
 // frameBytes encodes one complete wire frame for use as a fuzz seed.
@@ -78,6 +80,54 @@ func seedFrames(t testing.TB) [][]byte {
 	blocks3.raw(raw)
 	blocks3.u32(crc32.Checksum(raw, castagnoli))
 
+	// capShard welcome: negotiated caps include the shard bit, so the
+	// topology map rides length-prefixed behind the pipelining allowance.
+	seedMap := shard.Map{
+		Epoch:  3,
+		Seed:   11,
+		VNodes: 8,
+		Shards: []shard.Shard{
+			{ID: "a", Addrs: []string{"127.0.0.1:7001"}},
+			{ID: "b", Addrs: []string{"127.0.0.1:7002", "127.0.0.1:7003"}},
+		},
+	}
+	mapRaw := seedMap.AppendBinary(nil)
+	var welcomeShard enc
+	welcomeShard.u16(ProtoVersion)
+	welcomeShard.u64(7)
+	for _, v := range []uint32{16, 16, 16, 4, 4, 4, 1, 64, 3, 5000} {
+		welcomeShard.u32(v)
+	}
+	welcomeShard.u32(capCompress | capShard)
+	welcomeShard.u32(4)
+	welcomeShard.u32(uint32(len(mapRaw)))
+	welcomeShard.raw(mapRaw)
+
+	// Topology push: the map alone is the whole payload.
+	topo := mapRaw
+
+	// Hostile topology: a node-list header declaring 4G shards over a
+	// near-empty payload. Must be rejected before any allocation.
+	var topoHostile enc
+	topoHostile.u64(9)          // epoch
+	topoHostile.u64(1)          // seed
+	topoHostile.u32(8)          // vnodes
+	topoHostile.u32(0xFFFFFFFF) // declares 4G shards, provides none
+
+	// Blocks frame carrying a redirect entry: status byte + u64 epoch, no
+	// payload — the 9-byte "ask the new owner" answer from a cluster node.
+	var blocksRedir enc
+	blocksRedir.u64(9)
+	blocksRedir.u32(0)
+	blocksRedir.u16(2)
+	blocksRedir.u8(byte(statusRedirect))
+	blocksRedir.u64(4) // current epoch at the answering shard
+	blocksRedir.u8(byte(statusOK))
+	blocksRedir.u8(codecRaw)
+	blocksRedir.u32(uint32(len(raw)))
+	blocksRedir.raw(raw)
+	blocksRedir.u32(crc32.Checksum(raw, castagnoli))
+
 	var ping enc
 	ping.u64(99)
 
@@ -102,6 +152,10 @@ func seedFrames(t testing.TB) [][]byte {
 		frameBytes(t, msgHello, hello.b),
 		frameBytes(t, msgWelcome, welcome3.b),
 		frameBytes(t, msgWelcome, welcome.b),
+		frameBytes(t, msgWelcome, welcomeShard.b),
+		frameBytes(t, msgTopology, topo),
+		frameBytes(t, msgTopology, topoHostile.b),
+		frameBytes(t, msgBlocks, blocksRedir.b),
 		frameBytes(t, msgBlocks, blocks4.b),
 		frameBytes(t, msgBlocks, blocks3.b),
 		frameBytes(t, msgRead, read.b),
@@ -145,6 +199,14 @@ func FuzzWireDecode(f *testing.F) {
 				if 16+4*len(msg.IDs) != len(payload) {
 					t.Fatalf("decodeRead accepted %d ids from %d payload bytes",
 						len(msg.IDs), len(payload))
+				}
+			}
+		case msgTopology:
+			if m, ok := decodeTopology(payload); ok {
+				// A map that decoded must validate — the client adopts it
+				// and builds a ring without re-checking bounds.
+				if err := m.Validate(); err != nil {
+					t.Fatalf("decodeTopology accepted an invalid map: %v", err)
 				}
 			}
 		case msgView:

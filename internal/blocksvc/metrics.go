@@ -47,6 +47,8 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	counter("svc.heartbeats_sent", func(st *ServerStats) int64 { return st.HeartbeatsSent })
 	counter("svc.dead_peers", func(st *ServerStats) int64 { return st.DeadPeers })
 	counter("svc.goaways_sent", func(st *ServerStats) int64 { return st.GoawaysSent })
+	counter("svc.redirects", func(st *ServerStats) int64 { return st.Redirects })
+	counter("svc.topology_pushes", func(st *ServerStats) int64 { return st.TopologyPushes })
 	reg.GaugeFunc("svc.active_sessions", func() int64 { return s.Snapshot().ActiveSessions })
 	reg.GaugeFunc("svc.inflight_bytes", s.sem.InUse)
 	return m
@@ -75,13 +77,17 @@ func sessionGaugeName(id uint64) string {
 
 // clientMetrics is the RemoteReader's observability surface (names under
 // "client.", documented in DESIGN.md §9): ClientStats as pull-style func
-// metrics plus an end-to-end request-latency histogram.
+// metrics plus an end-to-end request-latency histogram. Per-endpoint
+// health lives under "client.shard.<shard>.endpoint.<i>." — registered as
+// shard groups come into the topology and unregistered as they leave, so
+// /debug/metrics never shows a departed node.
 type clientMetrics struct {
+	reg       *obs.Registry
 	requestNs *obs.Histogram
 }
 
 func newClientMetrics(r *RemoteReader, reg *obs.Registry) *clientMetrics {
-	m := &clientMetrics{}
+	m := &clientMetrics{reg: reg}
 	if reg == nil {
 		return m
 	}
@@ -110,19 +116,53 @@ func newClientMetrics(r *RemoteReader, reg *obs.Registry) *clientMetrics {
 	counter("client.breaker_opens", func(st *ClientStats) int64 { return st.BreakerOpens })
 	counter("client.breaker_probes", func(st *ClientStats) int64 { return st.BreakerProbes })
 	counter("client.breaker_closes", func(st *ClientStats) int64 { return st.BreakerCloses })
-	for _, ep := range r.eps {
+	counter("client.redirects", func(st *ClientStats) int64 { return st.Redirects })
+	counter("client.reroutes", func(st *ClientStats) int64 { return st.Reroutes })
+	counter("client.topology_updates", func(st *ClientStats) int64 { return st.TopologyUpdates })
+	return m
+}
+
+// endpointMetricPrefix names one endpoint's health metrics. Keyed by shard
+// ID and endpoint index — stable across topology changes, unlike a global
+// endpoint position.
+func endpointMetricPrefix(shardID string, idx int) string {
+	return fmt.Sprintf("client.shard.%s.endpoint.%d.", shardID, idx)
+}
+
+// endpointMetricSuffixes are the per-endpoint metric names registered and
+// unregistered as shard groups enter and leave the topology.
+var endpointMetricSuffixes = [...]string{"dials", "failures", "breaker_state", "draining"}
+
+// registerGroup exposes one shard group's per-endpoint health.
+func (m *clientMetrics) registerGroup(g *shardGroup) {
+	if m.reg == nil {
+		return
+	}
+	for _, ep := range g.eps {
 		ep := ep
-		prefix := fmt.Sprintf("client.endpoint.%d.", ep.idx)
-		reg.CounterFunc(prefix+"dials", ep.dials.Load)
-		reg.CounterFunc(prefix+"failures", ep.failures.Load)
+		prefix := endpointMetricPrefix(g.name, ep.idx)
+		m.reg.CounterFunc(prefix+"dials", ep.dials.Load)
+		m.reg.CounterFunc(prefix+"failures", ep.failures.Load)
 		// 0=closed, 1=open, 2=half-open (breakerState values).
-		reg.GaugeFunc(prefix+"breaker_state", func() int64 { return int64(ep.br.current()) })
-		reg.GaugeFunc(prefix+"draining", func() int64 {
+		m.reg.GaugeFunc(prefix+"breaker_state", func() int64 { return int64(ep.br.current()) })
+		m.reg.GaugeFunc(prefix+"draining", func() int64 {
 			if ep.draining.Load() {
 				return 1
 			}
 			return 0
 		})
 	}
-	return m
+}
+
+// unregisterGroup retires a departed shard group's metric names.
+func (m *clientMetrics) unregisterGroup(g *shardGroup) {
+	if m.reg == nil {
+		return
+	}
+	for _, ep := range g.eps {
+		prefix := endpointMetricPrefix(g.name, ep.idx)
+		for _, suffix := range endpointMetricSuffixes {
+			m.reg.Unregister(prefix + suffix)
+		}
+	}
 }

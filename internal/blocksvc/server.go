@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"repro/internal/entropy"
+	"repro/internal/faultio"
 	"repro/internal/grid"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/visibility"
 )
@@ -106,6 +108,18 @@ type Config struct {
 	// CompressLowEntropy compresses a block; 0 means the median of Imp's
 	// score distribution (resolved once at NewServer).
 	CompressThreshold float64
+	// ShardMap, when non-nil, runs the server in cluster mode: this node is
+	// one shard of a consistent-hash cluster, admits only the blocks it
+	// owns (answering others with a redirect carrying the current epoch,
+	// or a transient fault for peers that did not negotiate capShard), and
+	// advertises the topology in every capShard welcome. ShardID names
+	// this node's shard in the map. Topology changes arrive through
+	// UpdateShardMap and are pushed to connected capShard clients.
+	ShardMap *shard.Map
+	// ShardID is this node's shard identity within ShardMap. Required in
+	// cluster mode.
+	ShardID string
+
 	// HeartbeatInterval is the liveness cadence advertised in the welcome:
 	// each session pings the client at this interval and requires some
 	// inbound frame within twice of it, so a dead or wedged peer is torn
@@ -181,6 +195,9 @@ type ServerStats struct {
 	CompressSkipped  int64 // candidates sent raw (didn't shrink, or high entropy)
 	CompressBytesIn  int64 // raw payload bytes of compressed blocks
 	CompressBytesOut int64 // wire bytes of compressed blocks
+
+	Redirects      int64 // blocks answered "not owned by this shard" (cluster mode)
+	TopologyPushes int64 // topology frames delivered to capShard sessions
 }
 
 // Server serves block reads to many concurrent sessions from one shared
@@ -203,6 +220,11 @@ type Server struct {
 	// activeReqs counts read requests currently being served across all
 	// sessions; Drain waits for it to hit zero.
 	activeReqs atomic.Int64
+
+	// topo is the adopted cluster topology, nil outside cluster mode.
+	// Swapped whole by UpdateShardMap; each request captures one snapshot
+	// at admission so its byte accounting and ownership answers agree.
+	topo atomic.Pointer[serverTopology]
 
 	// zthr is the resolved CompressThreshold (CompressLowEntropy only).
 	zthr float64
@@ -240,8 +262,103 @@ func NewServer(cfg Config) (*Server, error) {
 		sessions:  make(map[*session]struct{}),
 		zthr:      zthr,
 	}
+	if cfg.ShardMap != nil {
+		if err := cfg.ShardMap.Validate(); err != nil {
+			cancel()
+			return nil, fmt.Errorf("blocksvc: shard map: %w", err)
+		}
+		if cfg.ShardID == "" {
+			cancel()
+			return nil, fmt.Errorf("blocksvc: cluster mode needs a shard id")
+		}
+		m := cfg.ShardMap.Clone()
+		self := m.ShardIndex(cfg.ShardID)
+		if self < 0 {
+			cancel()
+			return nil, fmt.Errorf("blocksvc: shard id %q not in the shard map", cfg.ShardID)
+		}
+		s.topo.Store(&serverTopology{m: m, ring: m.Ring(), self: self})
+	} else if cfg.ShardID != "" {
+		cancel()
+		return nil, fmt.Errorf("blocksvc: shard id without a shard map")
+	}
 	s.m = newServerMetrics(s, cfg.Metrics)
 	return s, nil
+}
+
+// serverTopology is one adopted cluster topology: the map, its ring, and
+// this node's position in it (-1 when the node has been removed — it then
+// owns nothing and redirects everything).
+type serverTopology struct {
+	m    *shard.Map
+	ring *shard.Ring
+	self int
+}
+
+// owns reports whether this node is the block's owner under t.
+func (t *serverTopology) owns(id grid.BlockID) bool {
+	return t.self >= 0 && t.ring.OwnerBlock(id) == t.self
+}
+
+// notOwnedError marks a block the addressed shard does not own under the
+// given epoch; sendRun encodes it as a redirect entry for capShard peers.
+type notOwnedError struct{ epoch uint64 }
+
+func (e *notOwnedError) Error() string {
+	return fmt.Sprintf("blocksvc: block not owned by this shard (epoch %d): %s",
+		e.epoch, faultio.ErrTransient)
+}
+
+func (e *notOwnedError) Unwrap() error { return faultio.ErrTransient }
+
+// UpdateShardMap adopts a newer cluster topology: the map is validated,
+// must carry a higher epoch than the current one, and takes effect for
+// every request admitted afterwards. Connected capShard sessions get the
+// map pushed as a topology frame so their routers re-route live traffic,
+// and cache entries this node no longer owns are evicted immediately —
+// their memory goes back to the recycler instead of aging out. A node
+// absent from the new map keeps serving redirects until its clients leave.
+func (s *Server) UpdateShardMap(m *shard.Map) error {
+	if s.topo.Load() == nil {
+		return fmt.Errorf("blocksvc: not in cluster mode")
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("blocksvc: shard map: %w", err)
+	}
+	s.mu.Lock() // serialize concurrent updates so epoch compare-and-swap holds
+	cur := s.topo.Load()
+	if m.Epoch <= cur.m.Epoch {
+		s.mu.Unlock()
+		return fmt.Errorf("blocksvc: stale shard map epoch %d (have %d)", m.Epoch, cur.m.Epoch)
+	}
+	m = m.Clone()
+	nt := &serverTopology{m: m, ring: m.Ring(), self: m.ShardIndex(s.cfg.ShardID)}
+	s.topo.Store(nt)
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	sent := broadcastTopology(sessions, m)
+	s.count(func(st *ServerStats) { st.TopologyPushes += sent })
+	s.cfg.Cache.EvictWhere(func(id grid.BlockID) bool { return !nt.owns(id) })
+	return nil
+}
+
+// broadcastTopology pushes a topology frame to every session that
+// negotiated capShard, returning how many deliveries succeeded.
+func broadcastTopology(sessions []*session, m *shard.Map) int64 {
+	raw := m.AppendBinary(nil)
+	var sent int64
+	for _, ss := range sessions {
+		if ss.wireCaps.Load()&capShard == 0 {
+			continue
+		}
+		if ss.send(msgTopology, raw) == nil {
+			sent++
+		}
+	}
+	return sent
 }
 
 // Serve accepts sessions on l until the server is closed (returns nil) or
@@ -344,6 +461,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, l := range listeners {
 		l.Close()
 	}
+	// Cluster mode: announce the ownership handoff before GOAWAY, so this
+	// node's capShard clients adopt the survivor topology and re-route new
+	// work to the blocks' next owners instead of redialing a dying node.
+	// (The operator's control plane distributes the same map to the
+	// surviving servers; this push covers our own clients.)
+	if t := s.topo.Load(); t != nil {
+		handoff := t.m.WithoutShard(s.cfg.ShardID)
+		if len(handoff.Shards) > 0 {
+			sent := broadcastTopology(sessions, handoff)
+			s.count(func(st *ServerStats) { st.TopologyPushes += sent })
+		}
+	}
 	var drainMillis uint32
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
@@ -434,9 +563,13 @@ type session struct {
 	bw      *bufio.Writer
 
 	// Negotiated at handshake: the client's protocol version and the
-	// capability bits both sides advertised.
-	ver  uint16
-	caps uint32
+	// capability bits both sides advertised. wireCaps mirrors caps for
+	// readers outside the session's own goroutines (topology broadcasts);
+	// it is published only after the welcome is on the wire, so a pushed
+	// frame can never precede it.
+	ver      uint16
+	caps     uint32
+	wireCaps atomic.Uint32
 	// tcp is non-nil when the transport supports vectored writes; zeroCopy
 	// additionally requires that cache buffers are immutable once handed
 	// out (recycling off), so payload views on a net.Buffers can't be
@@ -597,6 +730,10 @@ func (ss *session) handshake() error {
 	if ss.s.cfg.Compression != CompressOff {
 		serverCaps |= capCompress
 	}
+	topo := ss.s.topo.Load()
+	if topo != nil {
+		serverCaps |= capShard
+	}
 	ss.caps = hello.Caps & serverCaps
 	ss.tcp, _ = ss.conn.(*net.TCPConn)
 	ss.zeroCopy = ss.tcp != nil && hostLittleEndian && !ss.s.cfg.Cache.RecyclingEnabled()
@@ -617,10 +754,19 @@ func (ss *session) handshake() error {
 	if ss.ver >= 4 {
 		e.u32(ss.caps)
 		e.u32(uint32(ss.s.cfg.MaxSessionRequests))
+		if ss.caps&capShard != 0 {
+			// Advertise the cluster topology, length-prefixed, so the
+			// client becomes a router before its first read. Plain-v4 and
+			// v3 welcomes stay byte-identical to what they always were.
+			raw := topo.m.AppendBinary(nil)
+			e.u32(uint32(len(raw)))
+			e.raw(raw)
+		}
 	}
 	if err := ss.send(msgWelcome, e.b); err != nil {
 		return err
 	}
+	ss.wireCaps.Store(ss.caps)
 	ss.conn.SetReadDeadline(time.Time{})
 	ss.conn.SetWriteDeadline(time.Time{})
 	return nil
@@ -651,8 +797,17 @@ func (ss *session) handleRead(payload []byte) bool {
 		ss.fail("bad read request")
 		return false
 	}
+	// One topology snapshot per request: byte accounting here and the
+	// ownership answers in serveRead must agree even if the map swaps
+	// mid-request. Blocks this shard does not own are answered with a
+	// 9-byte redirect and never touch the cache, so they cost the
+	// admission budget nothing.
+	topo := ss.s.topo.Load()
 	var bytes int64
 	for _, id := range msg.IDs {
+		if topo != nil && !topo.owns(id) {
+			continue
+		}
 		bytes += ss.s.blockBytes(id)
 	}
 
@@ -676,7 +831,7 @@ func (ss *session) handleRead(payload []byte) bool {
 			ss.inflight--
 			ss.inflightMu.Unlock()
 		}()
-		ss.serveRead(msg.Req, msg.IDs, bytes, msg.DeadlineMillis)
+		ss.serveRead(msg.Req, msg.IDs, bytes, msg.DeadlineMillis, topo)
 	}()
 	return true
 }
@@ -696,7 +851,7 @@ func (ss *session) shed(req uint64) {
 // refused with a retryable shed status instead of queueing unboundedly. A
 // request larger than the whole budget can never be admitted and is shed
 // immediately.
-func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadlineMillis uint32) {
+func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadlineMillis uint32, topo *serverTopology) {
 	reqCtx := ss.ctx
 	var cancel context.CancelFunc
 	if deadlineMillis > 0 {
@@ -745,7 +900,10 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 		runEnd := idx
 		var runBytes int64
 		for runEnd < len(ids) && runEnd-idx < 65535 {
-			b := ss.s.blockBytes(ids[runEnd])
+			var b int64
+			if topo == nil || topo.owns(ids[runEnd]) {
+				b = ss.s.blockBytes(ids[runEnd])
+			}
 			if runEnd > idx && runBytes+b > ss.s.cfg.ResponseRunBytes {
 				break
 			}
@@ -753,7 +911,13 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 			runEnd++
 		}
 		run := ids[idx:runEnd]
-		vals, _, errs := ss.s.cfg.Cache.GetBatch(reqCtx, run)
+		var vals [][]float32
+		var errs []error
+		if topo == nil {
+			vals, _, errs = ss.s.cfg.Cache.GetBatch(reqCtx, run)
+		} else {
+			vals, errs = ss.serveRunSharded(reqCtx, run, topo)
+		}
 		if !ss.sendRun(rs, req, idx, run, vals, errs) {
 			return // write failed: connection is torn, stop serving
 		}
@@ -762,6 +926,44 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 	e.reset()
 	e.u64(req)
 	ss.send(msgDone, e.b)
+}
+
+// errNotOwnedPlain answers a non-capShard (v3 or plain-v4) client asking a
+// cluster node for a block it does not own. Those clients cannot decode the
+// redirect's epoch payload, so they get an ordinary retryable status and
+// their existing failover machinery finds another node.
+var errNotOwnedPlain = fmt.Errorf("blocksvc: block not owned by this shard: %w", faultio.ErrTransient)
+
+// serveRunSharded answers one run on a cluster node: only owned blocks go
+// through the shared cache (preserving the per-shard singleflight
+// invariant — a non-owned request never triggers a backing read here), and
+// the rest are answered in place with a redirect carrying the topology
+// epoch the decision was made under.
+func (ss *session) serveRunSharded(ctx context.Context, run []grid.BlockID, topo *serverTopology) ([][]float32, []error) {
+	vals := make([][]float32, len(run))
+	errs := make([]error, len(run))
+	owned := make([]grid.BlockID, 0, len(run))
+	pos := make([]int, 0, len(run))
+	for i, id := range run {
+		if topo.owns(id) {
+			owned = append(owned, id)
+			pos = append(pos, i)
+			continue
+		}
+		if ss.caps&capShard != 0 {
+			errs[i] = &notOwnedError{epoch: topo.m.Epoch}
+		} else {
+			errs[i] = errNotOwnedPlain
+		}
+	}
+	if len(owned) > 0 {
+		ov, _, oe := ss.s.cfg.Cache.GetBatch(ctx, owned)
+		for k, i := range pos {
+			vals[i] = ov[k]
+			errs[i] = oe[k]
+		}
+	}
+	return vals, errs
 }
 
 // compressBlock reports whether the compression policy selects this block.
@@ -853,7 +1055,7 @@ func (ss *session) sendRun(rs *runScratch, req uint64, firstIdx int, ids []grid.
 	if ss.zeroCopy && !compress {
 		return ss.sendRunVec(rs, req, firstIdx, ids, vals, errs)
 	}
-	var okCount, failCount, sent int64
+	var okCount, failCount, redirects, sent int64
 	var zBlocks, zSkipped, zIn, zOut int64
 	e := &rs.e
 	e.reset()
@@ -862,6 +1064,12 @@ func (ss *session) sendRun(rs *runScratch, req uint64, firstIdx int, ids []grid.
 	e.u16(uint16(len(ids)))
 	for i := range ids {
 		if errs[i] != nil {
+			if no, ok := errs[i].(*notOwnedError); ok {
+				redirects++
+				e.u8(byte(statusRedirect))
+				e.u64(no.epoch)
+				continue
+			}
 			failCount++
 			e.u8(byte(statusOf(errs[i])))
 			continue
@@ -892,6 +1100,7 @@ func (ss *session) sendRun(rs *runScratch, req uint64, firstIdx int, ids []grid.
 		st.Blocks += int64(len(ids))
 		st.BlocksOK += okCount
 		st.BlocksFailed += failCount
+		st.Redirects += redirects
 		st.BytesSent += sent
 		st.CompressedBlocks += zBlocks
 		st.CompressSkipped += zSkipped
@@ -908,7 +1117,7 @@ func (ss *session) sendRun(rs *runScratch, req uint64, firstIdx int, ids []grid.
 func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []grid.BlockID,
 	vals [][]float32, errs []error) bool {
 	e := &rs.e
-	var okCount, failCount, sent int64
+	var okCount, failCount, redirects, sent int64
 	total := 8 + 4 + 2
 	for i := range ids {
 		total++ // status byte
@@ -917,6 +1126,8 @@ func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []gr
 				total++ // codec byte
 			}
 			total += 4 + len(vals[i])*4 + 4
+		} else if _, ok := errs[i].(*notOwnedError); ok {
+			total += 8 // redirect epoch
 		}
 	}
 	if total > maxFrameBytes {
@@ -935,6 +1146,12 @@ func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []gr
 	pays := rs.pays[:0]
 	for i := range ids {
 		if errs[i] != nil {
+			if no, ok := errs[i].(*notOwnedError); ok {
+				redirects++
+				e.u8(byte(statusRedirect))
+				e.u64(no.epoch)
+				continue
+			}
 			failCount++
 			e.u8(byte(statusOf(errs[i])))
 			continue
@@ -965,6 +1182,7 @@ func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []gr
 		st.Blocks += int64(len(ids))
 		st.BlocksOK += okCount
 		st.BlocksFailed += failCount
+		st.Redirects += redirects
 		st.BytesSent += sent
 	})
 	ss.writeMu.Lock()
@@ -994,7 +1212,14 @@ func (ss *session) handleView(payload []byte) bool {
 		return true
 	}
 	var issued, dropped int64
+	topo := ss.s.topo.Load()
 	for _, id := range ss.s.cfg.Vis.Predict(pos) {
+		// Cluster mode: prefetch only what this shard owns — warming a
+		// non-owned block would break per-shard read accounting and be
+		// evicted on the next topology change anyway.
+		if topo != nil && !topo.owns(id) {
+			continue
+		}
 		if ss.s.cfg.Imp.Score(id) <= ss.s.cfg.Sigma || ss.s.cfg.Cache.Contains(id) {
 			continue
 		}

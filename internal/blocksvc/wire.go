@@ -33,6 +33,9 @@
 //	pong    ↔    token u64 (echo of a received ping's token)
 //	goaway  s→c  drainMillis u32 (server is draining: finish what is on the
 //	             wire, then take new work elsewhere)
+//	topology s→c shard.Map binary encoding (capShard sessions only): an
+//	             epoch-bumped cluster topology; clients adopt strictly
+//	             higher epochs and re-route pending work
 //
 // Responses stream: the server answers a read with a sequence of blocks
 // frames — one per merged run of consecutive results — and a final done.
@@ -67,6 +70,19 @@
 // server's drain announcement: requests already on the wire are served,
 // after which the connection will close; a failover-aware client shifts
 // new work to a replica.
+//
+// # Sharded clusters
+//
+// capShard (v4) turns a set of servers into a consistent-hash cluster.
+// A cluster-mode server appends its shard.Map (length-prefixed) to the
+// welcome when both sides advertise capShard; the client routes each block
+// to its ring owner from then on. Topology changes travel as topology
+// frames carrying the full epoch-bumped map. A block requested from a
+// node that does not own it is answered with statusRedirect plus the
+// node's epoch — never served — so cross-node cache duplication cannot
+// happen silently; peers without capShard get statusTransient instead,
+// which their ordinary retry path handles. Non-cluster servers send no
+// map, and the client behaves exactly as before: one shard, N replicas.
 //
 // # Fault classes over the wire
 //
@@ -110,10 +126,11 @@ const (
 // effect only when both sides advertise it.
 const (
 	capCompress uint32 = 1 << 0 // per-block DEFLATE wire codec
+	capShard    uint32 = 1 << 1 // sharded topology: welcome map, topology pushes, redirects
 )
 
 // clientCaps is what this client implementation advertises.
-const clientCaps = capCompress
+const clientCaps = capCompress | capShard
 
 // Per-block payload codecs (v4 blocks frames).
 const (
@@ -134,6 +151,10 @@ const (
 	msgPing    byte = 9
 	msgPong    byte = 10
 	msgGoaway  byte = 11
+	// msgTopology (s→c, capShard sessions only) pushes an epoch-bumped
+	// shard map: payload is one shard.Map in its binary encoding. Clients
+	// adopt strictly higher epochs and re-route pending work.
+	msgTopology byte = 12
 )
 
 // maxFrameBytes bounds any single frame so a corrupt length prefix cannot
@@ -162,6 +183,11 @@ const (
 	statusChecksumRetry blockStatus = 4 // corruption in transit to the server: transient
 	statusShed          blockStatus = 5 // admission control refused the work
 	statusCanceled      blockStatus = 6 // request context ended server-side
+	// statusRedirect answers a block this node does not own under its
+	// current shard map. The entry carries the node's topology epoch (u64)
+	// so a stale client knows to refresh before re-routing. Only sent to
+	// capShard sessions; other peers get statusTransient instead.
+	statusRedirect blockStatus = 7
 )
 
 // statusOf classifies a server-side read error for the wire.
@@ -185,6 +211,23 @@ func statusOf(err error) blockStatus {
 	}
 }
 
+// redirectError is the client-side form of statusRedirect: the addressed
+// node does not own the block under its topology (whose epoch rides
+// along). The router consumes these internally and re-routes; one that
+// escapes to a caller (a non-sharded client against a cluster node) is a
+// transient fault — retrying after the topology converges is correct.
+type redirectError struct {
+	id    grid.BlockID
+	epoch uint64
+}
+
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("blocksvc: block %d not owned by addressed shard (epoch %d): %s",
+		e.id, e.epoch, faultio.ErrTransient)
+}
+
+func (e *redirectError) Unwrap() error { return faultio.ErrTransient }
+
 // blockErr rebuilds a client-side error for a non-OK status, preserving the
 // faultio classification so retry policies behave identically against a
 // remote store and a local one.
@@ -206,6 +249,8 @@ func blockErr(st blockStatus, id grid.BlockID) error {
 		return fmt.Errorf("blocksvc: block %d: %w", id, faultio.Transient(ErrShed))
 	case statusCanceled:
 		return fmt.Errorf("blocksvc: block %d canceled at server: %w", id, faultio.ErrTransient)
+	case statusRedirect:
+		return &redirectError{id: id}
 	default:
 		return fmt.Errorf("blocksvc: block %d: unknown status %d: %w", id, st, faultio.ErrPermanent)
 	}
@@ -401,6 +446,7 @@ type blocksIter struct {
 	RawLen int    // declared decoded byte count (== len(Wire) for codecRaw)
 	Wire   []byte // payload bytes as they appear on the wire
 	Sum    uint32 // CRC32C over Wire
+	Epoch  uint64 // topology epoch riding a statusRedirect entry
 }
 
 // blocksHeader parses a blocks frame's prelude; ok=false on a short payload.
@@ -423,7 +469,11 @@ func (it *blocksIter) next() bool {
 	}
 	it.k++
 	it.Status = blockStatus(it.d.u8())
-	it.Codec, it.Wire, it.Sum, it.RawLen = codecRaw, nil, 0, 0
+	it.Codec, it.Wire, it.Sum, it.RawLen, it.Epoch = codecRaw, nil, 0, 0, 0
+	if it.Status == statusRedirect {
+		it.Epoch = it.d.u64()
+		return !it.d.bad
+	}
 	if it.Status != statusOK {
 		return !it.d.bad
 	}

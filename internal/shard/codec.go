@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Sentinel rejections for the count-validation paths: allocation-free, so
+// refusing a hostile header costs nothing at all.
+var (
+	errBadShardCount = errors.New("shard: bad shard count in topology")
+	errBadAddrCount  = errors.New("shard: bad address count in topology")
+)
+
+// Binary wire form of a Map, embedded in blocksvc welcome extensions and
+// topology push frames. Little-endian throughout:
+//
+//	epoch u64, seed u64, vnodes u32, nshards u32,
+//	then per shard: idLen u16, id bytes, nAddrs u16,
+//	                then per addr: addrLen u16, addr bytes
+//
+// The decoder checks every declared count both against the fixed limits
+// and against the bytes actually present before allocating, so a hostile
+// header (a node list claiming 4G shards in a 20-byte payload) is rejected
+// for the price of a length comparison.
+
+// AppendBinary appends m's wire encoding to b and returns the extended
+// slice. The map should be Validate()d; encoding an invalid map produces
+// bytes its own decoder will refuse.
+func (m *Map) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, m.Seed)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.VNodes))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Shards)))
+	for _, sh := range m.Shards {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(sh.ID)))
+		b = append(b, sh.ID...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(sh.Addrs)))
+		for _, a := range sh.Addrs {
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(a)))
+			b = append(b, a...)
+		}
+	}
+	return b
+}
+
+// binaryDec is a bounds-checked little-endian reader over untrusted bytes.
+type binaryDec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *binaryDec) u16() uint16 {
+	if d.bad || len(d.b) < 2 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *binaryDec) u32() uint32 {
+	if d.bad || len(d.b) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *binaryDec) u64() uint64 {
+	if d.bad || len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+// str reads a u16-length-prefixed string, bounded by MaxNameLen and by the
+// bytes remaining — never allocating more than is actually present.
+func (d *binaryDec) str() string {
+	n := int(d.u16())
+	if d.bad || n > MaxNameLen || n > len(d.b) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// DecodeBinary parses one Map from data, which must contain exactly the
+// encoding (trailing bytes are an error — the caller frames the payload).
+// Every declared count is validated against the remaining input before the
+// corresponding allocation, and the result is Validate()d, so a successful
+// decode is a well-formed topology.
+func DecodeBinary(data []byte) (*Map, error) {
+	d := binaryDec{b: data}
+	epoch, seed := d.u64(), d.u64()
+	vnodes := int(d.u32())
+	nshards := int(d.u32())
+	// Each shard costs at least 4 bytes (two empty-length prefixes); a
+	// count the payload cannot possibly hold is rejected before anything —
+	// even the Map header — is allocated.
+	if d.bad || nshards <= 0 || nshards > MaxShards || nshards*4 > len(d.b) {
+		return nil, errBadShardCount
+	}
+	m := &Map{Epoch: epoch, Seed: seed, VNodes: vnodes}
+	m.Shards = make([]Shard, nshards)
+	for i := range m.Shards {
+		m.Shards[i].ID = d.str()
+		naddrs := int(d.u16())
+		if d.bad || naddrs <= 0 || naddrs > MaxAddrsPerShard || naddrs*2 > len(d.b) {
+			return nil, errBadAddrCount
+		}
+		m.Shards[i].Addrs = make([]string, naddrs)
+		for j := range m.Shards[i].Addrs {
+			m.Shards[i].Addrs[j] = d.str()
+		}
+		if d.bad {
+			return nil, fmt.Errorf("shard: truncated topology")
+		}
+	}
+	if d.bad || len(d.b) != 0 {
+		return nil, fmt.Errorf("shard: malformed topology payload")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

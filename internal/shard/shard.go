@@ -1,0 +1,264 @@
+// Package shard partitions block ownership across a cluster of blocksvc
+// nodes with a deterministic consistent-hash ring, and versions the cluster
+// topology as an epoch-stamped Map that travels over the wire.
+//
+// The ring places VNodes virtual points per shard on a 64-bit circle; a
+// block lands on the first point clockwise of its hash, so adding or
+// removing one shard moves only ~1/N of the blocks (the removed shard's
+// arcs) and never reshuffles blocks between surviving shards. All hashing
+// is self-contained arithmetic (FNV-1a and a splitmix64-style finalizer):
+// assignments depend only on (Seed, VNodes, shard IDs), never on Go's
+// per-process randomized hashes, so every node and client of a cluster —
+// across processes, machines, and Go versions — computes identical
+// ownership.
+//
+// A Map is the versioned topology: the shard list with replica addresses
+// plus the ring parameters, stamped with an Epoch. Higher epochs win;
+// equal-epoch maps are expected to be identical. Maps serialize two ways:
+// JSON for operator-authored topology files (vizserver -shard-map) and a
+// compact binary form for the blocksvc welcome extension and topology
+// push frames, whose decoder validates every declared count against the
+// remaining payload before allocating anything.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// DefaultVNodes is the virtual-node count used when a Map leaves VNodes
+// zero: enough points that per-shard load imbalance stays within a few
+// percent, few enough that ring construction is microseconds.
+const DefaultVNodes = 64
+
+// Serialization bounds: a declared count beyond these is hostile or
+// corrupt, rejected before any allocation.
+const (
+	MaxShards        = 1024
+	MaxAddrsPerShard = 16
+	MaxNameLen       = 256
+	MaxVNodes        = 4096
+)
+
+// Shard is one ownership unit: a stable identity hashed into the ring and
+// the replica endpoints currently serving it. The ID — not the address
+// list — determines placement, so replacing a shard's replicas (failover,
+// migration) moves zero blocks.
+type Shard struct {
+	ID    string   `json:"id"`
+	Addrs []string `json:"addrs"`
+}
+
+// Map is one versioned cluster topology. Immutable once built; derive
+// changed topologies with WithoutShard (or clone-and-edit) so every epoch
+// is a distinct value.
+type Map struct {
+	Epoch  uint64  `json:"epoch"`
+	Seed   uint64  `json:"seed"`
+	VNodes int     `json:"vnodes,omitempty"` // 0 = DefaultVNodes
+	Shards []Shard `json:"shards"`
+}
+
+// vnodes resolves the effective virtual-node count.
+func (m *Map) vnodes() int {
+	if m.VNodes <= 0 {
+		return DefaultVNodes
+	}
+	return m.VNodes
+}
+
+// Validate checks structural invariants: at least one shard, unique
+// non-empty IDs, at least one address per shard, and every count and name
+// within the serialization bounds.
+func (m *Map) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	if len(m.Shards) > MaxShards {
+		return fmt.Errorf("shard: %d shards exceeds limit %d", len(m.Shards), MaxShards)
+	}
+	if m.VNodes < 0 || m.VNodes > MaxVNodes {
+		return fmt.Errorf("shard: vnodes %d out of range [0,%d]", m.VNodes, MaxVNodes)
+	}
+	seen := make(map[string]struct{}, len(m.Shards))
+	for i, sh := range m.Shards {
+		if sh.ID == "" {
+			return fmt.Errorf("shard: shard %d has empty id", i)
+		}
+		if len(sh.ID) > MaxNameLen {
+			return fmt.Errorf("shard: shard %d id exceeds %d bytes", i, MaxNameLen)
+		}
+		if _, dup := seen[sh.ID]; dup {
+			return fmt.Errorf("shard: duplicate shard id %q", sh.ID)
+		}
+		seen[sh.ID] = struct{}{}
+		if len(sh.Addrs) == 0 {
+			return fmt.Errorf("shard: shard %q has no addresses", sh.ID)
+		}
+		if len(sh.Addrs) > MaxAddrsPerShard {
+			return fmt.Errorf("shard: shard %q has %d addresses, limit %d",
+				sh.ID, len(sh.Addrs), MaxAddrsPerShard)
+		}
+		for _, a := range sh.Addrs {
+			if a == "" || len(a) > MaxNameLen {
+				return fmt.Errorf("shard: shard %q has a bad address", sh.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// ShardIndex returns the position of the shard with the given ID, -1 when
+// absent.
+func (m *Map) ShardIndex(id string) int {
+	for i, sh := range m.Shards {
+		if sh.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy, so a derived topology never aliases the
+// original's slices.
+func (m *Map) Clone() *Map {
+	out := &Map{Epoch: m.Epoch, Seed: m.Seed, VNodes: m.VNodes}
+	out.Shards = make([]Shard, len(m.Shards))
+	for i, sh := range m.Shards {
+		out.Shards[i] = Shard{ID: sh.ID, Addrs: append([]string(nil), sh.Addrs...)}
+	}
+	return out
+}
+
+// WithoutShard returns a new topology with the named shard removed and the
+// epoch bumped — the handoff map a draining or dead node's ownership
+// rebalances under. Removing an unknown ID still bumps the epoch (the
+// caller announced a change; announcing it idempotently is harmless).
+func (m *Map) WithoutShard(id string) *Map {
+	out := &Map{Epoch: m.Epoch + 1, Seed: m.Seed, VNodes: m.VNodes}
+	for _, sh := range m.Shards {
+		if sh.ID == id {
+			continue
+		}
+		out.Shards = append(out.Shards, Shard{ID: sh.ID, Addrs: append([]string(nil), sh.Addrs...)})
+	}
+	return out
+}
+
+// Load reads and validates a JSON topology file (the -shard-map format:
+// {"epoch":1,"seed":42,"shards":[{"id":"a","addrs":["host:port"]},...]}).
+func Load(path string) (*Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read topology: %w", err)
+	}
+	var m Map
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse topology %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: topology %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Ring is the consistent-hash lookup structure derived from a Map:
+// vnodes×shards points sorted on a 64-bit circle. Build once per adopted
+// topology; lookups are lock-free and safe for concurrent use.
+type Ring struct {
+	seed   uint64
+	hashes []uint64 // sorted point positions
+	owners []int32  // shard index owning the arc ending at hashes[i]
+}
+
+// Ring builds the lookup ring for this topology. The map must be valid.
+func (m *Map) Ring() *Ring {
+	vn := m.vnodes()
+	n := len(m.Shards) * vn
+	type point struct {
+		h     uint64
+		shard int32
+	}
+	pts := make([]point, 0, n)
+	for si, sh := range m.Shards {
+		base := fnv64(sh.ID)
+		for v := 0; v < vn; v++ {
+			pts = append(pts, point{pointHash(m.Seed, base, uint64(v)), int32(si)})
+		}
+	}
+	// Deterministic order even under (astronomically unlikely) hash
+	// collisions: position first, shard index as the tiebreak.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].shard < pts[j].shard
+	})
+	r := &Ring{
+		seed:   m.Seed,
+		hashes: make([]uint64, len(pts)),
+		owners: make([]int32, len(pts)),
+	}
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.owners[i] = p.shard
+	}
+	return r
+}
+
+// Owner maps an arbitrary 64-bit key to the index (into Map.Shards) of the
+// shard owning it: the first ring point at or clockwise of the key's hash,
+// wrapping at the top of the circle.
+func (r *Ring) Owner(key uint64) int {
+	h := keyHash(r.seed, key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return int(r.owners[i])
+}
+
+// OwnerBlock maps a block ID to its owning shard's index.
+func (r *Ring) OwnerBlock(id grid.BlockID) int {
+	return r.Owner(uint64(uint32(id)))
+}
+
+// fnv64 is FNV-1a over the string: a fixed, documented algorithm, so shard
+// identities hash identically everywhere (hash/maphash would not — it is
+// randomized per process by design).
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pointHash places virtual node v of the shard whose ID hashes to base.
+func pointHash(seed, base, v uint64) uint64 {
+	return mix64(seed ^ mix64(base^mix64(v+0x9e3779b97f4a7c15)))
+}
+
+// keyHash places a lookup key on the circle.
+func keyHash(seed, key uint64) uint64 {
+	return mix64(seed ^ mix64(key))
+}

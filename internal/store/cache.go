@@ -440,6 +440,27 @@ func (c *MemCache) evict(id grid.BlockID) {
 	}
 }
 
+// EvictWhere evicts every resident block the predicate selects, returning
+// how many were evicted. Used when block ownership moves away from this
+// node (a cluster topology change): the departed blocks' memory goes back
+// to the recycler immediately instead of aging out. Reads in flight are
+// unaffected — the singleflight map is not touched, so a concurrent miss
+// still completes and may re-install.
+func (c *MemCache) EvictWhere(pred func(grid.BlockID) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var victims []grid.BlockID
+	for id := range c.data {
+		if pred(id) {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		c.evict(id)
+	}
+	return len(victims)
+}
+
 // Stats returns hit and miss counts so far.
 func (c *MemCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
