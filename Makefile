@@ -5,10 +5,10 @@
 # committed baseline.
 GO ?= go
 
-RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./internal/tier/... ./internal/shard/... ./cmd/vizserver/...
+RACE_PKGS := ./internal/store/... ./internal/ooc/... ./internal/faultio/... ./internal/visibility/... ./internal/blocksvc/... ./internal/netchaos/... ./internal/obs/... ./internal/testutil/... ./internal/tier/... ./internal/shard/... ./internal/camera/... ./internal/loadgen/... ./cmd/vizserver/...
 
 # The hot-path packages whose numbers are tracked in results/BENCH_ooc.json.
-BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/... ./internal/tier/... ./internal/shard/...
+BENCH_PKGS := ./internal/ooc/... ./internal/store/... ./internal/blocksvc/... ./internal/tier/... ./internal/shard/... ./internal/camera/...
 
 # Packages with fuzz targets; fuzz-smoke replays their seed corpora.
 FUZZ_PKGS := ./internal/blocksvc/...
@@ -17,9 +17,9 @@ FUZZ_PKGS := ./internal/blocksvc/...
 # and the two-replica network-chaos end-to-end run.
 CHAOS_TESTS := 'TestChaos|TestBreaker|TestFailover|TestDrain|TestHandshakeWriteDeadline|TestServerDetectsDeadPeer|TestClientDetectsDeadServer|TestKeepalive|TestChecksumFaultsDontFailover|TestCloseConcurrentWithReads'
 
-.PHONY: check vet build test race chaos chaos-smoke spill-smoke pipe-smoke cluster-smoke fuzz-smoke bench bench-all bench-smoke bench-check
+.PHONY: check vet build test race chaos chaos-smoke spill-smoke pipe-smoke cluster-smoke load load-smoke fuzz-smoke bench bench-all bench-smoke bench-check
 
-check: vet build test race chaos-smoke spill-smoke pipe-smoke cluster-smoke fuzz-smoke bench-smoke bench-check
+check: vet build test race chaos-smoke spill-smoke pipe-smoke cluster-smoke load-smoke fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,20 @@ bench-check:
 	$(GO) test -bench='^BenchmarkRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 	$(GO) test -bench='^BenchmarkShardedRemoteFrame$$' -benchmem -run='^$$' ./internal/blocksvc/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
 	$(GO) test -bench='^BenchmarkTieredFrame$$' -benchmem -run='^$$' ./internal/tier/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+	$(GO) test -bench='^BenchmarkPredict$$' -benchmem -run='^$$' ./internal/camera/ | $(GO) run ./cmd/benchjson -check results/BENCH_ooc.json -max-regress 25
+
+# load records the multi-user capacity curve — p50/p95/p99 frame latency,
+# shed rate, prefetch-hit ratio vs session count — to results/LOADGEN.json.
+# Deterministic in the seed; commit the JSON when the curve moves.
+load:
+	$(GO) run ./cmd/loadgen -seed 1 -sessions 4,16,64 -frames 48 -out results/LOADGEN.json
+
+# load-smoke is the check-gate version: the predictive-prefetch and harness
+# suites under the race detector, then a small real fleet through the CLI —
+# zero frame errors and a well-formed report or the gate fails.
+load-smoke:
+	$(GO) test -race -count=1 ./internal/loadgen/ ./internal/camera/
+	$(GO) run ./cmd/loadgen -sessions 2,8 -frames 8 -smoke
 
 # fuzz-smoke replays each fuzz target's seed corpus as ordinary tests, so a
 # decoder change that panics on a known-interesting input fails the gate.

@@ -1,0 +1,145 @@
+// Command loadgen replays fleets of concurrent synthetic navigation
+// sessions — orbit, fly-through, dwell-and-zoom, random saccade — as real
+// protocol clients, and writes the capacity curve: p50/p95/p99 frame
+// latency, shed rate, and prefetch-hit ratio versus session count.
+//
+// By default it self-hosts an in-process block service over the analytic
+// ball dataset, so one command measures the whole service path with no
+// setup. Point it at a live vizserver with -addr (and -metrics-url for its
+// /debug/metrics endpoint, so server-side prefetch counters still reach the
+// report).
+//
+// Usage:
+//
+//	go run ./cmd/loadgen -seed 1 -sessions 4,16,64 -frames 48 -out results/LOADGEN.json
+//	go run ./cmd/loadgen -sessions 4 -frames 8 -smoke            # CI gate
+//	go run ./cmd/loadgen -addr :9000 -metrics-url http://localhost:9100/debug/metrics
+//
+// The workload is deterministic in (seed, flags): the same inputs replay the
+// identical per-session request sequence, so two runs differ only in timing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/vec"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "workload seed (paths, phases, retry jitter)")
+	sessionsFlag := flag.String("sessions", "4,16", "comma-separated session counts of the capacity curve")
+	frames := flag.Int("frames", 32, "view steps each session replays")
+	radius := flag.Float64("radius", 3, "nominal view distance of generated paths")
+	theta := flag.Float64("theta", 20, "view frustum cone angle, degrees")
+	conns := flag.Int("conns", 1, "connection-pool size per session client")
+	think := flag.Duration("think", 0, "pause between frames (0 probes capacity)")
+	mix := flag.String("patterns", "", "comma-separated pattern mix (default all: "+strings.Join(loadgen.Patterns, ",")+")")
+	addr := flag.String("addr", "", "vizserver address (default: self-hosted in-process server)")
+	metricsURL := flag.String("metrics-url", "", "with -addr: its /debug/metrics endpoint")
+	out := flag.String("out", "", "write the report as JSON here ('' = stdout summary only)")
+	smoke := flag.Bool("smoke", false, "CI mode: exit nonzero on frame errors or a malformed report")
+
+	scale := flag.Float64("scale", 1.0/32, "in-process dataset downscale of the 1024³ ball")
+	cacheFrac := flag.Float64("cache-frac", 1, "in-process cache size as a fraction of the dataset")
+	predictOff := flag.Bool("predict-off", false, "in-process: nearest-sample prefetch baseline")
+	sigma := flag.Float64("sigma", 0, "in-process entropy prefetch threshold")
+	maxInflight := flag.Int64("max-inflight-bytes", 0, "in-process admission cap (small values force shedding)")
+	flag.Parse()
+
+	counts, err := parseCounts(*sessionsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := loadgen.Config{
+		Seed:       *seed,
+		Sessions:   counts,
+		Frames:     *frames,
+		Radius:     *radius,
+		ViewAngle:  vec.Radians(*theta),
+		Conns:      *conns,
+		Think:      *think,
+		Addr:       *addr,
+		MetricsURL: *metricsURL,
+		Inproc: &loadgen.InprocOptions{
+			Scale:            *scale,
+			CacheFrac:        *cacheFrac,
+			PredictOff:       *predictOff,
+			Sigma:            *sigma,
+			MaxInflightBytes: *maxInflight,
+		},
+	}
+	if *mix != "" {
+		cfg.PatternMix = strings.Split(*mix, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	t0 := time.Now()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(rep, time.Since(t0))
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *smoke {
+		// Shed reads make sessions fall short of their frame quota only on
+		// hard errors, never on sheds — so the full-quota check holds even
+		// in constrained smoke runs.
+		if err := rep.Validate(true); err != nil {
+			fatal(err)
+		}
+		fmt.Println("load smoke OK")
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad session count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+func printSummary(rep *loadgen.Report, elapsed time.Duration) {
+	fmt.Printf("loadgen: seed=%d frames=%d target=%s elapsed=%s\n",
+		rep.Seed, rep.Frames, rep.Target, elapsed.Round(time.Millisecond))
+	fmt.Printf("%9s %9s %9s %9s %9s %9s %11s\n",
+		"sessions", "p50ms", "p95ms", "p99ms", "maxms", "shed", "prefetch")
+	for _, p := range rep.Points {
+		hit := "n/a"
+		if p.PrefetchHitRatio >= 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*p.PrefetchHitRatio)
+		}
+		fmt.Printf("%9d %9.2f %9.2f %9.2f %9.2f %8.1f%% %11s\n",
+			p.Sessions, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs, 100*p.ShedRate, hit)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

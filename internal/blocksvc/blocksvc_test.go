@@ -82,6 +82,11 @@ type svcOpts struct {
 	corrupt *grid.BlockID
 	// mutate edits the server config before NewServer.
 	mutate func(*Config)
+	// scale overrides the dataset downscale (default 1/32 → 32³ voxels).
+	scale float64
+	// visRadius overrides the visibility table's fixed vicinal radius
+	// (default 0.3).
+	visRadius float64
 }
 
 type svcFixture struct {
@@ -101,7 +106,11 @@ type svcFixture struct {
 // tears it down with the test.
 func startService(t testing.TB, o svcOpts) *svcFixture {
 	t.Helper()
-	ds := volume.Ball().Scale(1.0 / 32) // 32³
+	scale := o.scale
+	if scale == 0 {
+		scale = 1.0 / 32 // 32³
+	}
+	ds := volume.Ball().Scale(scale)
 	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -137,11 +146,15 @@ func startService(t testing.TB, o svcOpts) *svcFixture {
 		t.Fatal(err)
 	}
 	f.imp = entropy.Build(ds, g, entropy.Options{})
+	visRadius := o.visRadius
+	if visRadius == 0 {
+		visRadius = 0.3
+	}
 	f.vis, err = visibility.NewTable(g, visibility.Options{
 		NAzimuth: 16, NElevation: 8, NDistance: 2,
 		RMin: 2.5, RMax: 3.5,
 		ViewAngle: vec.Radians(20),
-		Radius:    radius.Fixed(0.3),
+		Radius:    radius.Fixed(visRadius),
 		Lazy:      true,
 	})
 	if err != nil {

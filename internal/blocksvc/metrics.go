@@ -44,6 +44,11 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	counter("svc.prefetch_executed", func(st *ServerStats) int64 { return st.PrefetchExecuted })
 	counter("svc.prefetch_failed", func(st *ServerStats) int64 { return st.PrefetchFailed })
 	counter("svc.prefetch_dropped", func(st *ServerStats) int64 { return st.PrefetchDropped })
+	counter("svc.prefetch_hits", func(st *ServerStats) int64 { return st.PrefetchHits })
+	counter("svc.predict.dwell", func(st *ServerStats) int64 { return st.PredictDwell })
+	counter("svc.predict.linear", func(st *ServerStats) int64 { return st.PredictLinear })
+	counter("svc.predict.angular", func(st *ServerStats) int64 { return st.PredictAngular })
+	counter("svc.predict.last", func(st *ServerStats) int64 { return st.PredictLast })
 	counter("svc.heartbeats_sent", func(st *ServerStats) int64 { return st.HeartbeatsSent })
 	counter("svc.dead_peers", func(st *ServerStats) int64 { return st.DeadPeers })
 	counter("svc.goaways_sent", func(st *ServerStats) int64 { return st.GoawaysSent })
@@ -54,14 +59,19 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	return m
 }
 
-// registerSession exposes one session's in-flight served bytes as a
-// dynamically named gauge; unregisterSession retires it at teardown so the
+// registerSession exposes one session's in-flight served bytes — and, when
+// prefetch is on, its trajectory-predictor counters — as dynamically named
+// metrics; unregisterSession retires every one of them at teardown so the
 // snapshot only lists live sessions.
 func (m *serverMetrics) registerSession(ss *session) {
 	if m.reg == nil {
 		return
 	}
 	m.reg.GaugeFunc(sessionGaugeName(ss.id), ss.inflightBytes.Load)
+	if ss.prefetchCh != nil {
+		m.reg.CounterFunc(sessionPredictName(ss.id, "views"), ss.predViews.Load)
+		m.reg.CounterFunc(sessionPredictName(ss.id, "hits"), ss.predHits.Load)
+	}
 }
 
 func (m *serverMetrics) unregisterSession(ss *session) {
@@ -69,10 +79,23 @@ func (m *serverMetrics) unregisterSession(ss *session) {
 		return
 	}
 	m.reg.Unregister(sessionGaugeName(ss.id))
+	if ss.prefetchCh != nil {
+		for _, suffix := range sessionPredictSuffixes {
+			m.reg.Unregister(sessionPredictName(ss.id, suffix))
+		}
+	}
 }
 
 func sessionGaugeName(id uint64) string {
 	return fmt.Sprintf("svc.session.%d.inflight_bytes", id)
+}
+
+// sessionPredictSuffixes are the per-session predictor metric names,
+// registered at session start and unregistered at teardown.
+var sessionPredictSuffixes = [...]string{"views", "hits"}
+
+func sessionPredictName(id uint64, suffix string) string {
+	return fmt.Sprintf("svc.predict.session.%d.%s", id, suffix)
 }
 
 // clientMetrics is the RemoteReader's observability surface (names under

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/camera"
 	"repro/internal/entropy"
 	"repro/internal/faultio"
 	"repro/internal/grid"
@@ -72,6 +73,17 @@ type Config struct {
 	Vis   *visibility.Table
 	Imp   *entropy.Table
 	Sigma float64
+
+	// Predict tunes the per-session trajectory predictor that extrapolates
+	// recent view updates and feeds the *predicted* camera position into
+	// T_visible, so prefetch warms the blocks of the position the camera
+	// is about to occupy. The zero value selects the defaults documented
+	// on camera.PredictorOptions.
+	Predict camera.PredictorOptions
+	// PredictOff disables trajectory extrapolation: prefetch then looks up
+	// the last-seen camera position — the nearest-sample baseline — which
+	// is exactly the behavior of a one-sample predictor history.
+	PredictOff bool
 
 	// MaxInflightBytes caps the bytes of block data being served across all
 	// sessions at once; requests beyond it wait up to MaxQueueWait and are
@@ -187,9 +199,22 @@ type ServerStats struct {
 	PrefetchExecuted int64
 	PrefetchFailed   int64
 	PrefetchDropped  int64
-	HeartbeatsSent   int64 // pings sent by session liveness loops
-	DeadPeers        int64 // sessions torn down by an expired idle deadline
-	GoawaysSent      int64 // drain announcements delivered
+	// PrefetchHits counts demand-served blocks that a session's prefetch
+	// had already pulled into the shared cache before the demand arrived —
+	// each prefetched block is credited at most once, on its first demand.
+	PrefetchHits int64
+
+	// Predict* count view updates by the trajectory model that produced
+	// the prefetch position: hovering (dwell), straight-line (linear),
+	// orbit/zoom about the center (angular), or too little history (last —
+	// the nearest-sample fallback).
+	PredictDwell   int64
+	PredictLinear  int64
+	PredictAngular int64
+	PredictLast    int64
+	HeartbeatsSent int64 // pings sent by session liveness loops
+	DeadPeers      int64 // sessions torn down by an expired idle deadline
+	GoawaysSent    int64 // drain announcements delivered
 
 	CompressedBlocks int64 // blocks shipped DEFLATE-compressed
 	CompressSkipped  int64 // candidates sent raw (didn't shrink, or high entropy)
@@ -421,6 +446,10 @@ func (s *Server) StartSession(conn net.Conn) bool {
 	ss.ctx, ss.cancel = context.WithCancel(s.ctx)
 	if s.cfg.Vis != nil {
 		ss.prefetchCh = make(chan grid.BlockID, s.cfg.PrefetchQueue)
+		ss.prefetched = make(map[grid.BlockID]struct{})
+		if !s.cfg.PredictOff {
+			ss.pred = camera.NewPredictor(s.cfg.Predict)
+		}
 	}
 	s.sessions[ss] = struct{}{}
 	s.mu.Unlock()
@@ -589,6 +618,21 @@ type session struct {
 	prefetchCh chan grid.BlockID // nil when prefetch is disabled
 	queuedMu   sync.Mutex
 	queued     map[grid.BlockID]struct{}
+	// prefetched tracks blocks this session queued for prefetch whose first
+	// demand has not arrived yet; serveRead resolves each entry once — a
+	// cache hit credits PrefetchHits, a miss just clears the entry (the
+	// prefetch was too late or already evicted). Guarded by queuedMu.
+	prefetched map[grid.BlockID]struct{}
+
+	// pred extrapolates this session's camera trajectory for prefetch; nil
+	// when prefetch is disabled or Config.PredictOff is set. Touched only
+	// by the session's read loop (handleView).
+	pred *camera.Predictor
+
+	// predViews / predHits back the per-session svc.predict.session.*
+	// metrics registered while the session lives.
+	predViews atomic.Int64
+	predHits  atomic.Int64
 }
 
 // run owns the session lifecycle: handshake, read loop, teardown. On exit —
@@ -912,12 +956,14 @@ func (ss *session) serveRead(req uint64, ids []grid.BlockID, bytes int64, deadli
 		}
 		run := ids[idx:runEnd]
 		var vals [][]float32
+		var hit []bool
 		var errs []error
 		if topo == nil {
-			vals, _, errs = ss.s.cfg.Cache.GetBatch(reqCtx, run)
+			vals, hit, errs = ss.s.cfg.Cache.GetBatch(reqCtx, run)
 		} else {
-			vals, errs = ss.serveRunSharded(reqCtx, run, topo)
+			vals, hit, errs = ss.serveRunSharded(reqCtx, run, topo)
 		}
+		ss.notePrefetchHits(run, hit, errs)
 		if !ss.sendRun(rs, req, idx, run, vals, errs) {
 			return // write failed: connection is torn, stop serving
 		}
@@ -939,8 +985,9 @@ var errNotOwnedPlain = fmt.Errorf("blocksvc: block not owned by this shard: %w",
 // invariant — a non-owned request never triggers a backing read here), and
 // the rest are answered in place with a redirect carrying the topology
 // epoch the decision was made under.
-func (ss *session) serveRunSharded(ctx context.Context, run []grid.BlockID, topo *serverTopology) ([][]float32, []error) {
+func (ss *session) serveRunSharded(ctx context.Context, run []grid.BlockID, topo *serverTopology) ([][]float32, []bool, []error) {
 	vals := make([][]float32, len(run))
+	hit := make([]bool, len(run))
 	errs := make([]error, len(run))
 	owned := make([]grid.BlockID, 0, len(run))
 	pos := make([]int, 0, len(run))
@@ -957,13 +1004,42 @@ func (ss *session) serveRunSharded(ctx context.Context, run []grid.BlockID, topo
 		}
 	}
 	if len(owned) > 0 {
-		ov, _, oe := ss.s.cfg.Cache.GetBatch(ctx, owned)
+		ov, oh, oe := ss.s.cfg.Cache.GetBatch(ctx, owned)
 		for k, i := range pos {
 			vals[i] = ov[k]
+			hit[i] = oh[k]
 			errs[i] = oe[k]
 		}
 	}
-	return vals, errs
+	return vals, hit, errs
+}
+
+// notePrefetchHits resolves the prefetch attribution of one demand run:
+// every block this session had queued for prefetch is settled on its first
+// demand — served from the cache it counts as a prefetch hit, missed it
+// counts as nothing (the prefetch was too late or already evicted). Either
+// way the entry is cleared, so revisits of a warm block can't inflate the
+// hit ratio.
+func (ss *session) notePrefetchHits(run []grid.BlockID, hit []bool, errs []error) {
+	if ss.prefetched == nil {
+		return
+	}
+	var hits int64
+	ss.queuedMu.Lock()
+	for i, id := range run {
+		if _, ok := ss.prefetched[id]; !ok {
+			continue
+		}
+		delete(ss.prefetched, id)
+		if hit[i] && errs[i] == nil {
+			hits++
+		}
+	}
+	ss.queuedMu.Unlock()
+	if hits > 0 {
+		ss.predHits.Add(hits)
+		ss.s.count(func(st *ServerStats) { st.PrefetchHits += hits })
+	}
 }
 
 // compressBlock reports whether the compression policy selects this block.
@@ -1198,9 +1274,13 @@ func (ss *session) sendRunVec(rs *runScratch, req uint64, firstIdx int, ids []gr
 }
 
 // handleView updates the session's predicted working set: the client's
-// camera position is run through T_visible and the entropy threshold, and
-// fresh high-entropy predictions are queued for prefetch into the shared
-// cache. Returns false on a protocol error.
+// camera position extends the session's trajectory history, the predictor
+// extrapolates where the camera is heading, and the *predicted* position is
+// run through T_visible and the entropy threshold — fresh high-entropy
+// predictions are queued for prefetch into the shared cache. With the
+// predictor off (or under one sample of history) the lookup position is the
+// last-seen one, the nearest-sample baseline. Returns false on a protocol
+// error.
 func (ss *session) handleView(payload []byte) bool {
 	pos, ok := decodeView(payload)
 	if !ok {
@@ -1211,9 +1291,28 @@ func (ss *session) handleView(payload []byte) bool {
 	if ss.prefetchCh == nil {
 		return true
 	}
+	target := pos
+	if ss.pred != nil {
+		ss.pred.Observe(pos)
+		var kind camera.PredictKind
+		target, kind = ss.pred.Predict()
+		ss.predViews.Add(1)
+		ss.s.count(func(st *ServerStats) {
+			switch kind {
+			case camera.PredictDwell:
+				st.PredictDwell++
+			case camera.PredictLinear:
+				st.PredictLinear++
+			case camera.PredictAngular:
+				st.PredictAngular++
+			default:
+				st.PredictLast++
+			}
+		})
+	}
 	var issued, dropped int64
 	topo := ss.s.topo.Load()
-	for _, id := range ss.s.cfg.Vis.Predict(pos) {
+	for _, id := range ss.s.cfg.Vis.Predict(target) {
 		// Cluster mode: prefetch only what this shard owns — warming a
 		// non-owned block would break per-shard read accounting and be
 		// evicted on the next topology change anyway.
@@ -1233,6 +1332,9 @@ func (ss *session) handleView(payload []byte) bool {
 		select {
 		case ss.prefetchCh <- id:
 			issued++
+			ss.queuedMu.Lock()
+			ss.prefetched[id] = struct{}{}
+			ss.queuedMu.Unlock()
 		default:
 			ss.queuedMu.Lock()
 			delete(ss.queued, id)

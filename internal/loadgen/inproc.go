@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blocksvc"
+	"repro/internal/cache"
+	"repro/internal/entropy"
+	"repro/internal/grid"
+	"repro/internal/radius"
+	"repro/internal/store"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+// InprocOptions tunes the self-hosted in-process server. The defaults mirror
+// the blocksvc test fixture: the analytic ball dataset, 8³-voxel blocks, a
+// cache big enough for the whole volume, and predictive prefetch on.
+type InprocOptions struct {
+	// Scale downsamples the 1024³ ball catalog entry (default 1/32 → 32³).
+	Scale float64
+	// CacheFrac sizes the server cache as a fraction of the dataset
+	// (default 1: everything fits, so latency measures the service path,
+	// not disk). Lower it to make eviction part of the workload.
+	CacheFrac float64
+	// PredictOff falls back to nearest-sample prefetch (A/B baseline).
+	PredictOff bool
+	// Sigma is the entropy prefetch threshold (default 0: prefetch every
+	// predicted block).
+	Sigma float64
+	// PrefetchQueue overrides the per-session prediction queue depth.
+	PrefetchQueue int
+	// MaxInflightBytes caps concurrently served bytes; small values force
+	// admission control to shed under fleet load (default: server default,
+	// effectively unlimited for these datasets).
+	MaxInflightBytes int64
+}
+
+func (o InprocOptions) withDefaults() InprocOptions {
+	if o.Scale == 0 {
+		o.Scale = 1.0 / 32
+	}
+	if o.CacheFrac == 0 {
+		o.CacheFrac = 1
+	}
+	return o
+}
+
+// inprocTarget self-hosts a block service on an in-process pipe listener.
+// The dataset, entropy table, and visibility table are built once; reset
+// rebuilds the cache and server so every capacity point starts cold with
+// zeroed counters.
+type inprocTarget struct {
+	cfg  Config
+	opts InprocOptions
+	dir  string
+	g    *grid.Grid
+	bf   *store.BlockFile
+	imp  *entropy.Table
+	vis  *visibility.Table
+
+	srv *blocksvc.Server
+	lis *blocksvc.PipeListener
+}
+
+func newInprocTarget(cfg Config) (*inprocTarget, error) {
+	opts := InprocOptions{}
+	if cfg.Inproc != nil {
+		opts = *cfg.Inproc
+	}
+	opts = opts.withDefaults()
+
+	ds := volume.Ball().Scale(opts.Scale)
+	g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "loadgen-*")
+	if err != nil {
+		return nil, err
+	}
+	tgt := &inprocTarget{cfg: cfg, opts: opts, dir: dir, g: g}
+	path := filepath.Join(dir, "ball.bvol")
+	if err := store.Write(path, ds, g, 0); err != nil {
+		tgt.close()
+		return nil, err
+	}
+	if tgt.bf, err = store.Open(path); err != nil {
+		tgt.close()
+		return nil, err
+	}
+	tgt.imp = entropy.Build(ds, g, entropy.Options{})
+	// The table spans the loadgen paths' ±12% radius band around
+	// cfg.Radius; anything outside clamps to the nearest key.
+	tgt.vis, err = visibility.NewTable(g, visibility.Options{
+		NAzimuth: 16, NElevation: 8, NDistance: 2,
+		RMin: 0.85 * cfg.Radius, RMax: 1.15 * cfg.Radius,
+		ViewAngle: cfg.ViewAngle,
+		Radius:    radius.Fixed(0.3),
+		Lazy:      true,
+	})
+	if err != nil {
+		tgt.close()
+		return nil, err
+	}
+	return tgt, nil
+}
+
+func (t *inprocTarget) reset() error {
+	t.stopServer()
+	capacity := int64(float64(int64(t.g.NumBlocks())*t.bf.BlockBytes(0)) * t.opts.CacheFrac)
+	mc, err := store.NewMemCache(t.bf, capacity, cache.NewLRU())
+	if err != nil {
+		return err
+	}
+	srv, err := blocksvc.NewServer(blocksvc.Config{
+		Cache:  mc,
+		Grid:   t.g,
+		Header: t.bf.Header(),
+		Vis:    t.vis, Imp: t.imp, Sigma: t.opts.Sigma,
+		PredictOff:       t.opts.PredictOff,
+		PrefetchQueue:    t.opts.PrefetchQueue,
+		MaxInflightBytes: t.opts.MaxInflightBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: inproc server: %w", err)
+	}
+	t.srv, t.lis = srv, blocksvc.NewPipeListener()
+	go t.srv.Serve(t.lis)
+	return nil
+}
+
+func (t *inprocTarget) clientConfig() blocksvc.ClientConfig {
+	return blocksvc.ClientConfig{Dial: t.lis.Dial}
+}
+
+func (t *inprocTarget) sample() (ServerSample, bool) {
+	if t.srv == nil {
+		return ServerSample{}, false
+	}
+	st := t.srv.Snapshot()
+	return ServerSample{
+		Requests:         st.Requests,
+		ShedRequests:     st.ShedRequests,
+		BlocksOK:         st.BlocksOK,
+		ViewUpdates:      st.ViewUpdates,
+		PrefetchIssued:   st.PrefetchIssued,
+		PrefetchExecuted: st.PrefetchExecuted,
+		PrefetchDropped:  st.PrefetchDropped,
+		PrefetchHits:     st.PrefetchHits,
+		PredictDwell:     st.PredictDwell,
+		PredictLinear:    st.PredictLinear,
+		PredictAngular:   st.PredictAngular,
+		PredictLast:      st.PredictLast,
+	}, true
+}
+
+func (t *inprocTarget) stopServer() {
+	if t.lis != nil {
+		t.lis.Close()
+		t.lis = nil
+	}
+	if t.srv != nil {
+		t.srv.Close()
+		t.srv = nil
+	}
+}
+
+func (t *inprocTarget) close() {
+	t.stopServer()
+	if t.bf != nil {
+		t.bf.Close()
+		t.bf = nil
+	}
+	if t.dir != "" {
+		os.RemoveAll(t.dir)
+		t.dir = ""
+	}
+}
+
+// remoteTarget points the fleet at a live vizserver. Points share the server
+// (reset is a no-op — a remote process cannot be restarted from here), and
+// server counters are only observable when MetricsURL names its
+// /debug/metrics endpoint.
+type remoteTarget struct {
+	addr       string
+	metricsURL string
+}
+
+func (t *remoteTarget) reset() error { return nil }
+
+func (t *remoteTarget) clientConfig() blocksvc.ClientConfig {
+	return blocksvc.ClientConfig{Addr: t.addr}
+}
+
+func (t *remoteTarget) sample() (ServerSample, bool) {
+	if t.metricsURL == "" {
+		return ServerSample{}, false
+	}
+	return fetchMetricsSample(t.metricsURL)
+}
+
+func (t *remoteTarget) close() {}

@@ -1,0 +1,380 @@
+// Package loadgen replays fleets of concurrent synthetic navigation
+// sessions — orbit, fly-through, dwell-and-zoom, random saccade — as real
+// protocol clients against a block service, and reports the capacity curve
+// every scaling change must move: p50/p95/p99 frame latency, shed rate, and
+// prefetch-hit ratio versus session count. The workload is deterministic in
+// (seed, config): the same inputs replay the identical per-session request
+// sequence, so two runs differ only in timing.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blocksvc"
+	"repro/internal/camera"
+	"repro/internal/faultio"
+	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+)
+
+// Patterns are the built-in navigation patterns, assigned to sessions
+// round-robin. Each reuses the deterministic generators of internal/camera.
+var Patterns = []string{"orbit", "flythrough", "dwellzoom", "saccade"}
+
+// Config describes one load run. The zero value of every optional field
+// selects a sensible default; Sessions and Frames must be set.
+type Config struct {
+	// Seed makes the whole workload reproducible: session paths, pattern
+	// phases, and client retry jitter all derive from it.
+	Seed uint64
+	// Sessions lists the concurrency points of the capacity curve, e.g.
+	// [4, 16, 64]. Each point runs that many concurrent sessions.
+	Sessions []int
+	// Frames is the number of view steps each session replays.
+	Frames int
+	// Radius is the nominal view distance of the generated paths (default
+	// 3, the center of the default visibility table's distance range).
+	Radius float64
+	// ViewAngle is the full frustum cone angle used for the client-side
+	// visible-set computation, radians (default 20°).
+	ViewAngle float64
+	// Conns is the connection-pool size of each session's client
+	// (default 1: one session, one connection, like a real viewer).
+	Conns int
+	// Think pauses between frames (default 0: replay as fast as the
+	// server allows, the capacity-probing mode).
+	Think time.Duration
+	// PatternMix overrides the round-robin pattern cycle (default
+	// Patterns). Unknown names fail Run.
+	PatternMix []string
+
+	// Addr connects sessions to a live vizserver instead of the built-in
+	// in-process server. MetricsURL may then point at its -debug-addr
+	// /debug/metrics endpoint so server-side prefetch counters still make
+	// it into the report.
+	Addr       string
+	MetricsURL string
+
+	// Inproc configures the self-hosted in-process server used when Addr
+	// is empty. Nil selects defaults.
+	Inproc *InprocOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Radius == 0 {
+		c.Radius = 3
+	}
+	if c.ViewAngle == 0 {
+		c.ViewAngle = vec.Radians(20)
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if len(c.PatternMix) == 0 {
+		c.PatternMix = Patterns
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Sessions) == 0 {
+		return errors.New("loadgen: no session counts")
+	}
+	for _, n := range c.Sessions {
+		if n <= 0 {
+			return fmt.Errorf("loadgen: bad session count %d", n)
+		}
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("loadgen: bad frame count %d", c.Frames)
+	}
+	for _, p := range c.PatternMix {
+		if _, ok := patternGen[p]; !ok {
+			return fmt.Errorf("loadgen: unknown pattern %q (have %v)", p, Patterns)
+		}
+	}
+	return nil
+}
+
+// SessionPlan is one session's deterministic itinerary.
+type SessionPlan struct {
+	Index   int
+	Pattern string
+	Seed    uint64
+	Steps   []vec.V3
+}
+
+// Plan expands the config into per-session itineraries for a point with the
+// given session count. Pure: the same (cfg, sessions) always returns the
+// identical plans — the determinism the harness tests pin.
+func Plan(cfg Config, sessions int) ([]SessionPlan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	plans := make([]SessionPlan, sessions)
+	for i := range plans {
+		pattern := cfg.PatternMix[i%len(cfg.PatternMix)]
+		// Distinct splitmix streams per session; +1 keeps session 0 of
+		// seed 0 off the all-zero stream.
+		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15 + 1
+		plans[i] = SessionPlan{
+			Index:   i,
+			Pattern: pattern,
+			Seed:    seed,
+			Steps:   patternGen[pattern](cfg, seed),
+		}
+	}
+	return plans, nil
+}
+
+// patternGen builds each pattern's step sequence. All are deterministic in
+// (cfg, seed) and stay within ±12% of the nominal radius so the server's
+// visibility table covers them.
+var patternGen = map[string]func(cfg Config, seed uint64) []vec.V3{
+	"orbit":      orbitSteps,
+	"flythrough": flythroughSteps,
+	"dwellzoom":  dwellZoomSteps,
+	"saccade":    saccadeSteps,
+}
+
+// orbitSteps: a great-circle orbit with a per-session phase, tilt, and
+// slight radius offset, so a fleet of orbiters doesn't march in lockstep.
+func orbitSteps(cfg Config, seed uint64) []vec.V3 {
+	rng := field.NewRand(seed)
+	phase := rng.Range(0, 2*math.Pi)
+	tilt := rng.Range(-0.4, 0.4)
+	r := cfg.Radius * rng.Range(0.95, 1.05)
+	base := camera.Orbit(r, cfg.Frames)
+	steps := make([]vec.V3, 0, cfg.Frames)
+	for _, s := range base.Steps {
+		s = vec.RotateAbout(s, vec.New(0, 1, 0), phase)
+		s = vec.RotateAbout(s, vec.New(1, 0, 0), tilt)
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// flythroughSteps: the paper's random exploration path — bounded random
+// turns with a random walk in distance.
+func flythroughSteps(cfg Config, seed uint64) []vec.V3 {
+	return camera.Random(0.88*cfg.Radius, 1.12*cfg.Radius, 3, 9, cfg.Frames, seed).Steps
+}
+
+// dwellZoomSteps: hover at a far viewpoint, zoom toward the volume, hover
+// near — the study-then-approach interaction that exercises the dwell
+// detector and the distance axis of T_visible.
+func dwellZoomSteps(cfg Config, seed uint64) []vec.V3 {
+	rng := field.NewRand(seed)
+	dir := vec.FromSpherical(vec.Spherical{
+		Azimuth:   rng.Range(0, 2*math.Pi),
+		Elevation: rng.Range(-0.9, 0.9),
+		R:         1,
+	})
+	far, near := 1.12*cfg.Radius, 0.88*cfg.Radius
+	dwell := cfg.Frames / 4
+	zoomN := cfg.Frames - 2*dwell
+	if zoomN < 1 {
+		zoomN, dwell = cfg.Frames, 0
+	}
+	steps := make([]vec.V3, 0, cfg.Frames)
+	for i := 0; i < dwell; i++ {
+		steps = append(steps, dir.Scale(far))
+	}
+	steps = append(steps, camera.Zoom(dir, far, near, zoomN).Steps...)
+	for len(steps) < cfg.Frames {
+		steps = append(steps, dir.Scale(near))
+	}
+	return steps
+}
+
+// saccadeSteps: HMD-style smooth pursuit with tremor and saccade jumps.
+func saccadeSteps(cfg Config, seed uint64) []vec.V3 {
+	return camera.HeadMotion(cfg.Radius, cfg.Frames, seed).Steps
+}
+
+// target abstracts where the sessions connect: the in-process server or a
+// remote vizserver.
+type target interface {
+	// reset prepares a fresh measurement point (the in-process target
+	// restarts its server so every point starts cold).
+	reset() error
+	// clientConfig returns the dial configuration for one session client.
+	clientConfig() blocksvc.ClientConfig
+	// sample reads the server-side counters, when observable.
+	sample() (ServerSample, bool)
+	close()
+}
+
+// Run executes the configured load run: for each session count, a fleet of
+// concurrent clients replays its plans and the aggregated latencies and
+// counters become one point of the report. Ctx cancels the run between
+// frames.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var tgt target
+	var err error
+	if cfg.Addr != "" {
+		tgt = &remoteTarget{addr: cfg.Addr, metricsURL: cfg.MetricsURL}
+	} else {
+		tgt, err = newInprocTarget(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer tgt.close()
+
+	rep := &Report{
+		Seed:     cfg.Seed,
+		Frames:   cfg.Frames,
+		Patterns: cfg.PatternMix,
+		Target:   "inproc",
+	}
+	if cfg.Addr != "" {
+		rep.Target = cfg.Addr
+	}
+	for _, n := range cfg.Sessions {
+		if err := tgt.reset(); err != nil {
+			return nil, err
+		}
+		point, err := runPoint(ctx, cfg, tgt, n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, point)
+	}
+	return rep, nil
+}
+
+// runPoint drives one fleet of n concurrent sessions and aggregates the
+// point's metrics.
+func runPoint(ctx context.Context, cfg Config, tgt target, n int) (Point, error) {
+	plans, err := Plan(cfg, n)
+	if err != nil {
+		return Point{}, err
+	}
+	before, sampled := tgt.sample()
+
+	hist := obs.NewHistogram(obs.DurationBuckets())
+	var frames, frameErrors, blocksReq, blocksShed atomic.Int64
+	var clientReqs, clientSheds atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, plan := range plans {
+		wg.Add(1)
+		go func(plan SessionPlan) {
+			defer wg.Done()
+			cc := tgt.clientConfig()
+			cc.Conns = cfg.Conns
+			cc.Retry = &faultio.Retrier{
+				MaxAttempts: 3,
+				BaseDelay:   200 * time.Microsecond,
+				MaxDelay:    5 * time.Millisecond,
+				Seed:        plan.Seed,
+			}
+			r, err := blocksvc.Dial(cc)
+			if err != nil {
+				fail(fmt.Errorf("session %d: dial: %w", plan.Index, err))
+				return
+			}
+			defer r.Close()
+			g := r.Grid()
+			<-start
+			for _, pos := range plan.Steps {
+				if ctx.Err() != nil {
+					return
+				}
+				// The view hint goes out first — like a real viewer whose
+				// camera moved — so the server's predictor can warm the
+				// next frames while this one renders.
+				r.SendView(ctx, pos)
+				visible := visibility.VisibleSet(g, camera.Camera{Pos: pos, ViewAngle: cfg.ViewAngle})
+				blocksReq.Add(int64(len(visible)))
+				t0 := time.Now()
+				vals, errs := r.ReadBlocks(ctx, visible)
+				hist.Observe(time.Since(t0).Nanoseconds())
+				frames.Add(1)
+				bad := false
+				for i := range errs {
+					switch {
+					case errs[i] == nil:
+						r.RecycleBlockBuf(vals[i])
+					case errors.Is(errs[i], blocksvc.ErrShed):
+						blocksShed.Add(1)
+					default:
+						bad = true
+					}
+				}
+				if bad {
+					frameErrors.Add(1)
+				}
+				if cfg.Think > 0 {
+					select {
+					case <-time.After(cfg.Think):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			st := r.Snapshot()
+			clientReqs.Add(st.Requests)
+			clientSheds.Add(st.ShedRequests)
+		}(plan)
+	}
+	close(start)
+	wg.Wait()
+	if firstErr != nil {
+		return Point{}, firstErr
+	}
+	if ctx.Err() != nil {
+		return Point{}, ctx.Err()
+	}
+
+	snap := hist.Snapshot()
+	point := Point{
+		Sessions:         n,
+		Frames:           frames.Load(),
+		FrameErrors:      frameErrors.Load(),
+		BlocksRequested:  blocksReq.Load(),
+		BlocksShed:       blocksShed.Load(),
+		ClientRequests:   clientReqs.Load(),
+		ShedRequests:     clientSheds.Load(),
+		P50Ms:            float64(snap.P50) / 1e6,
+		P95Ms:            float64(snap.P95) / 1e6,
+		P99Ms:            float64(snap.P99) / 1e6,
+		MaxMs:            float64(snap.Max) / 1e6,
+		PrefetchHitRatio: -1,
+	}
+	if point.ClientRequests > 0 {
+		point.ShedRate = float64(point.ShedRequests) / float64(point.ClientRequests+point.ShedRequests)
+	}
+	if after, ok := tgt.sample(); ok && sampled {
+		d := after.sub(before)
+		point.Server = &d
+		if d.BlocksOK > 0 {
+			point.PrefetchHitRatio = float64(d.PrefetchHits) / float64(d.BlocksOK)
+		}
+	}
+	return point, nil
+}

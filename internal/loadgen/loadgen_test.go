@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/camera"
+	"repro/internal/grid"
+	"repro/internal/testutil"
+	"repro/internal/vec"
+	"repro/internal/visibility"
+	"repro/internal/volume"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:     7,
+		Sessions: []int{2, 4},
+		Frames:   6,
+	}
+}
+
+// TestPlanDeterministic pins the harness's core promise: the same
+// (seed, config) expands to byte-identical per-session itineraries — and,
+// through the deterministic visible-set computation, to the identical
+// per-session block request sequence.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, err := Plan(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Plan calls with identical inputs disagree")
+	}
+
+	// Expand both itineraries to the block request sequence each session
+	// would issue, over independently built grids, and pin equality.
+	requests := func(plans []SessionPlan) [][][]grid.BlockID {
+		ds := volume.Ball().Scale(1.0 / 32)
+		g, err := ds.Grid(grid.Dims{X: 8, Y: 8, Z: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := vec.Radians(20)
+		out := make([][][]grid.BlockID, len(plans))
+		for i, p := range plans {
+			for _, pos := range p.Steps {
+				out[i] = append(out[i], visibility.VisibleSet(g, camera.Camera{Pos: pos, ViewAngle: theta}))
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(requests(a), requests(b)) {
+		t.Fatal("identical plans expanded to different block request sequences")
+	}
+
+	// A different seed must actually change the workload.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Plan(cfg2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical workload")
+	}
+}
+
+// TestPlanShapes pins each pattern's basic contract: exactly Frames steps,
+// every step within the visibility table's radius band, no NaNs.
+func TestPlanShapes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Frames = 12
+	plans, err := Plan(cfg, len(Patterns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		seen[p.Pattern] = true
+		if len(p.Steps) != cfg.Frames {
+			t.Errorf("%s: %d steps, want %d", p.Pattern, len(p.Steps), cfg.Frames)
+		}
+		for j, s := range p.Steps {
+			r := s.Norm()
+			if !(r > 0.8*3 && r < 1.2*3) {
+				t.Errorf("%s step %d: radius %g outside the table band", p.Pattern, j, r)
+			}
+		}
+	}
+	for _, name := range Patterns {
+		if !seen[name] {
+			t.Errorf("pattern %s never assigned", name)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []Config{
+		{Frames: 4},                     // no session counts
+		{Sessions: []int{0}, Frames: 4}, // zero sessions
+		{Sessions: []int{2}},            // no frames
+		{Sessions: []int{2}, Frames: 4, PatternMix: []string{"warp"}}, // unknown pattern
+	} {
+		if _, err := Plan(bad, 2); err == nil {
+			t.Errorf("Plan(%+v) accepted an invalid config", bad)
+		}
+	}
+}
+
+// TestRunInproc is the harness e2e: a small fleet against the in-process
+// server completes with zero frame errors, produces a well-formed capacity
+// curve with observable server counters, and leaks no goroutines.
+func TestRunInproc(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cfg := testConfig()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.Sessions) {
+		t.Fatalf("%d points, want %d", len(rep.Points), len(cfg.Sessions))
+	}
+	for _, p := range rep.Points {
+		if p.BlocksRequested == 0 {
+			t.Errorf("%d sessions: no blocks requested", p.Sessions)
+		}
+		if p.Server == nil {
+			t.Fatalf("%d sessions: in-process run lost its server sample", p.Sessions)
+		}
+		if p.Server.ViewUpdates == 0 {
+			t.Errorf("%d sessions: no view updates reached the server", p.Sessions)
+		}
+		if p.Server.PrefetchIssued == 0 {
+			t.Errorf("%d sessions: predictive prefetch never fired", p.Sessions)
+		}
+		if p.PrefetchHitRatio < 0 || p.PrefetchHitRatio > 1 {
+			t.Errorf("%d sessions: prefetch hit ratio %g unobserved or out of range",
+				p.Sessions, p.PrefetchHitRatio)
+		}
+	}
+}
+
+// TestRunDeterministicRequests pins that two full runs with the same seed
+// demand the same total block volume — timing may differ, the workload must
+// not.
+func TestRunDeterministicRequests(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cfg := testConfig()
+	cfg.Sessions = []int{3}
+	ctx := context.Background()
+	a, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Points[0], b.Points[0]
+	if pa.BlocksRequested != pb.BlocksRequested || pa.Frames != pb.Frames {
+		t.Fatalf("same seed, different workload: %d/%d blocks, %d/%d frames",
+			pa.BlocksRequested, pb.BlocksRequested, pa.Frames, pb.Frames)
+	}
+}
+
+// TestReportRoundTrip pins the on-disk schema: WriteFile output unmarshals
+// back to the identical report.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Seed: 1, Frames: 8, Patterns: Patterns, Target: "inproc",
+		Points: []Point{{
+			Sessions: 4, Frames: 32, BlocksRequested: 100,
+			P50Ms: 1, P95Ms: 2, P99Ms: 3, MaxMs: 4,
+			PrefetchHitRatio: 0.25,
+			Server:           &ServerSample{BlocksOK: 100, PrefetchHits: 25},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "sub", "LOADGEN.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, rep) {
+		t.Fatalf("round trip mutated the report:\n got %+v\nwant %+v", got, rep)
+	}
+	if err := got.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}

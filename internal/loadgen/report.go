@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Report is the machine-comparable output of one load run — the capacity
+// curve committed as results/LOADGEN.json and diffed across PRs.
+type Report struct {
+	Seed     uint64   `json:"seed"`
+	Frames   int      `json:"frames_per_session"`
+	Patterns []string `json:"patterns"`
+	Target   string   `json:"target"` // "inproc" or the vizserver address
+	Points   []Point  `json:"points"`
+}
+
+// Point is one session-count sample of the capacity curve.
+type Point struct {
+	Sessions int `json:"sessions"`
+
+	// Client-observed workload: frames replayed across the fleet, frames
+	// that saw a non-shed block error, and per-block demand volume.
+	Frames          int64 `json:"frames"`
+	FrameErrors     int64 `json:"frame_errors"`
+	BlocksRequested int64 `json:"blocks_requested"`
+	BlocksShed      int64 `json:"blocks_shed"`
+
+	// Frame latency quantiles (client-observed demand-read round trip).
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+
+	// Shed pressure: read requests refused by admission control, counted
+	// client-side across retries. ShedRate = sheds / (served + sheds).
+	ClientRequests int64   `json:"client_requests"`
+	ShedRequests   int64   `json:"shed_requests"`
+	ShedRate       float64 `json:"shed_rate"`
+
+	// PrefetchHitRatio is the server-observed fraction of demand-served
+	// blocks that a session's trajectory-predictive prefetch had already
+	// warmed (svc.prefetch_hits / svc.blocks_ok); -1 when the server's
+	// counters are not observable (remote target without a metrics URL).
+	PrefetchHitRatio float64 `json:"prefetch_hit_ratio"`
+
+	// Server carries the server-side counter deltas for the point, when
+	// observable.
+	Server *ServerSample `json:"server,omitempty"`
+}
+
+// ServerSample is the subset of server counters the report tracks, taken as
+// before/after deltas around one point.
+type ServerSample struct {
+	Requests         int64 `json:"requests"`
+	ShedRequests     int64 `json:"shed_requests"`
+	BlocksOK         int64 `json:"blocks_ok"`
+	ViewUpdates      int64 `json:"view_updates"`
+	PrefetchIssued   int64 `json:"prefetch_issued"`
+	PrefetchExecuted int64 `json:"prefetch_executed"`
+	PrefetchDropped  int64 `json:"prefetch_dropped"`
+	PrefetchHits     int64 `json:"prefetch_hits"`
+	PredictDwell     int64 `json:"predict_dwell"`
+	PredictLinear    int64 `json:"predict_linear"`
+	PredictAngular   int64 `json:"predict_angular"`
+	PredictLast      int64 `json:"predict_last"`
+}
+
+func (s ServerSample) sub(o ServerSample) ServerSample {
+	return ServerSample{
+		Requests:         s.Requests - o.Requests,
+		ShedRequests:     s.ShedRequests - o.ShedRequests,
+		BlocksOK:         s.BlocksOK - o.BlocksOK,
+		ViewUpdates:      s.ViewUpdates - o.ViewUpdates,
+		PrefetchIssued:   s.PrefetchIssued - o.PrefetchIssued,
+		PrefetchExecuted: s.PrefetchExecuted - o.PrefetchExecuted,
+		PrefetchDropped:  s.PrefetchDropped - o.PrefetchDropped,
+		PrefetchHits:     s.PrefetchHits - o.PrefetchHits,
+		PredictDwell:     s.PredictDwell - o.PredictDwell,
+		PredictLinear:    s.PredictLinear - o.PredictLinear,
+		PredictAngular:   s.PredictAngular - o.PredictAngular,
+		PredictLast:      s.PredictLast - o.PredictLast,
+	}
+}
+
+// Validate checks the invariants a sane report satisfies — the load-smoke
+// gate: at least one point, every point replayed its full frame quota with
+// zero frame errors, and latency quantiles are ordered.
+func (r *Report) Validate(sessionsTimesFrames bool) error {
+	if len(r.Points) == 0 {
+		return fmt.Errorf("loadgen: report has no points")
+	}
+	for _, p := range r.Points {
+		if p.FrameErrors != 0 {
+			return fmt.Errorf("loadgen: %d sessions: %d frame errors", p.Sessions, p.FrameErrors)
+		}
+		if sessionsTimesFrames && p.Frames != int64(p.Sessions)*int64(r.Frames) {
+			return fmt.Errorf("loadgen: %d sessions: replayed %d frames, want %d",
+				p.Sessions, p.Frames, int64(p.Sessions)*int64(r.Frames))
+		}
+		if p.P50Ms > p.P95Ms || p.P95Ms > p.P99Ms || p.P99Ms > p.MaxMs {
+			return fmt.Errorf("loadgen: %d sessions: unordered quantiles p50=%g p95=%g p99=%g max=%g",
+				p.Sessions, p.P50Ms, p.P95Ms, p.P99Ms, p.MaxMs)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 {
+			return fmt.Errorf("loadgen: %d sessions: shed rate %g out of range", p.Sessions, p.ShedRate)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON, creating parent directories.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// fetchMetricsSample pulls the server counters from a vizserver
+// /debug/metrics endpoint (the obs.Snapshot JSON shape).
+func fetchMetricsSample(url string) (ServerSample, bool) {
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return ServerSample{}, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return ServerSample{}, false
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return ServerSample{}, false
+	}
+	c := snap.Counters
+	return ServerSample{
+		Requests:         c["svc.requests"],
+		ShedRequests:     c["svc.shed_requests"],
+		BlocksOK:         c["svc.blocks_ok"],
+		ViewUpdates:      c["svc.view_updates"],
+		PrefetchIssued:   c["svc.prefetch_issued"],
+		PrefetchExecuted: c["svc.prefetch_executed"],
+		PrefetchDropped:  c["svc.prefetch_dropped"],
+		PrefetchHits:     c["svc.prefetch_hits"],
+		PredictDwell:     c["svc.predict.dwell"],
+		PredictLinear:    c["svc.predict.linear"],
+		PredictAngular:   c["svc.predict.angular"],
+		PredictLast:      c["svc.predict.last"],
+	}, true
+}
